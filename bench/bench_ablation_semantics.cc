@@ -1,0 +1,108 @@
+// Experiment E12 — ablation of the SA-LSH design choices that DESIGN.md
+// calls out:
+//  (1) In-table semantic sub-bucketing (our SA-LSH) vs post-hoc pairwise
+//      semantic filtering of plain-LSH candidates: identical candidate
+//      quality, but the post-hoc filter must first materialize all LSH
+//      pairs (the cost SA-LSH avoids).
+//  (2) Semhash-signature Jaccard vs exact Eq. 5 record similarity: the
+//      signatures preserve the similarity (Proposition 4.3), so a
+//      threshold on either yields the same filtering decisions.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/domains.h"
+#include "core/lsh_blocker.h"
+#include "core/semhash.h"
+#include "eval/harness.h"
+
+int main(int argc, char** argv) {
+  using sablock::FormatDouble;
+  using sablock::core::BlockCollection;
+  using sablock::core::LshBlocker;
+  using sablock::core::SemanticAwareLshBlocker;
+  using sablock::core::SemanticMode;
+  using sablock::core::SemanticParams;
+
+  size_t records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
+  sablock::data::Dataset d = sablock::bench::MakePaperCora(records);
+  sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
+  const sablock::core::Taxonomy& taxonomy = domain.taxonomy();
+  sablock::core::LshParams p = sablock::bench::CoraLshParams();
+
+  std::printf("Ablation (E12) on the Cora-like data set (%zu records)\n\n",
+              d.size());
+
+  // --- Variant A: integrated SA-LSH (full-width OR). -------------------
+  SemanticParams sp;
+  sp.w = 5;
+  sp.mode = SemanticMode::kOr;
+  sp.seed = 11;
+  sablock::WallTimer t_a;
+  BlockCollection sa_blocks =
+      SemanticAwareLshBlocker(p, sp, domain.semantics).Run(d);
+  double secs_a = t_a.Seconds();
+  sablock::eval::Metrics m_a = sablock::eval::Evaluate(d, sa_blocks);
+
+  // --- Variant B: plain LSH + post-hoc pairwise semantic filter. -------
+  sablock::WallTimer t_b;
+  BlockCollection lsh_blocks = LshBlocker(p).Run(d);
+  auto zetas = domain.semantics->InterpretAll(d);
+  sablock::PairSet lsh_pairs = lsh_blocks.DistinctPairs();
+  BlockCollection filtered;
+  lsh_pairs.ForEach([&](uint32_t a, uint32_t b) {
+    if (taxonomy.RecordSimilarity(zetas[a], zetas[b]) > 0.0) {
+      filtered.Add({a, b});
+    }
+  });
+  double secs_b = t_b.Seconds();
+  sablock::eval::Metrics m_b = sablock::eval::Evaluate(d, filtered);
+
+  // --- Variant C: post-hoc filter via semhash Jaccard. ------------------
+  sablock::WallTimer t_c;
+  auto enc = sablock::core::SemhashEncoder::Build(taxonomy, zetas);
+  auto sigs = enc.EncodeAll(taxonomy, zetas);
+  BlockCollection filtered_sig;
+  lsh_pairs.ForEach([&](uint32_t a, uint32_t b) {
+    if (sigs[a].AndCount(sigs[b]) > 0) filtered_sig.Add({a, b});
+  });
+  double secs_c = t_c.Seconds();
+  sablock::eval::Metrics m_c = sablock::eval::Evaluate(d, filtered_sig);
+
+  sablock::eval::Metrics m_lsh = sablock::eval::Evaluate(d, lsh_blocks);
+
+  sablock::eval::TablePrinter table(
+      {"variant", "PC", "PQ", "RR", "FM", "pairs", "time(s)"});
+  table.AddRow({"plain LSH (no semantics)", FormatDouble(m_lsh.pc, 4),
+                FormatDouble(m_lsh.pq, 4), FormatDouble(m_lsh.rr, 4),
+                FormatDouble(m_lsh.fm, 4),
+                std::to_string(m_lsh.distinct_pairs), "-"});
+  table.AddRow({"SA-LSH (in-table sub-buckets)", FormatDouble(m_a.pc, 4),
+                FormatDouble(m_a.pq, 4), FormatDouble(m_a.rr, 4),
+                FormatDouble(m_a.fm, 4),
+                std::to_string(m_a.distinct_pairs),
+                FormatDouble(secs_a, 3)});
+  table.AddRow({"LSH + post-hoc Eq.5 filter", FormatDouble(m_b.pc, 4),
+                FormatDouble(m_b.pq, 4), FormatDouble(m_b.rr, 4),
+                FormatDouble(m_b.fm, 4),
+                std::to_string(m_b.distinct_pairs),
+                FormatDouble(secs_b, 3)});
+  table.AddRow({"LSH + post-hoc semhash filter", FormatDouble(m_c.pc, 4),
+                FormatDouble(m_c.pq, 4), FormatDouble(m_c.rr, 4),
+                FormatDouble(m_c.fm, 4),
+                std::to_string(m_c.distinct_pairs),
+                FormatDouble(secs_c, 3)});
+  table.Print();
+
+  std::printf(
+      "\nExpected: all three semantic variants agree on the candidate set\n"
+      "(Proposition 4.3 makes the semhash filter equivalent to Eq. 5;\n"
+      "full-width OR sub-bucketing admits exactly the pairs with a shared\n"
+      "semantic feature). SA-LSH avoids materializing the unfiltered LSH\n"
+      "pair set, which dominates variant B/C cost at scale.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Experiment E9 — Fig. 12: SA-LSH vs meta-blocking. Token blocking forms
+// the initial block collection; each pruning algorithm (WEP, CEP, WNP,
+// CNP) is evaluated under all five weighting schemes (ARCS, CBS, ECBS,
+// JS, EJS) and reported at its best-FM* weighting, alongside the initial
+// blocks and SA-LSH, using the meta-blocking papers' PC / PQ* / FM*.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/meta_blocking.h"
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/domains.h"
+#include "core/lsh_blocker.h"
+#include "eval/harness.h"
+
+namespace {
+
+using sablock::FormatDouble;
+using sablock::baselines::MetaBlocking;
+using sablock::baselines::MetaPruning;
+using sablock::baselines::MetaPruningName;
+using sablock::baselines::MetaWeighting;
+using sablock::baselines::MetaWeightingName;
+using sablock::baselines::TokenBlocking;
+using sablock::core::SemanticAwareLshBlocker;
+using sablock::core::SemanticMode;
+using sablock::core::SemanticParams;
+
+void RunDataset(const char* title, const sablock::data::Dataset& d,
+                const std::vector<std::string>& attributes,
+                const sablock::core::LshParams& lsh_params,
+                const sablock::core::Domain& domain, int full_width,
+                size_t purge_size) {
+  std::printf("%s (%zu records)\n", title, d.size());
+
+  sablock::core::BlockCollection initial =
+      TokenBlocking(d, attributes, purge_size);
+  sablock::eval::Metrics init_m = sablock::eval::Evaluate(d, initial);
+
+  sablock::eval::TablePrinter table(
+      {"method", "weighting", "PC", "PQ*", "FM*"});
+  table.AddRow({"(initial blocks)", "-", FormatDouble(init_m.pc, 3),
+                FormatDouble(init_m.pq_star, 4),
+                FormatDouble(init_m.fm_star, 3)});
+
+  for (MetaPruning pruning : {MetaPruning::kWep, MetaPruning::kCep,
+                              MetaPruning::kWnp, MetaPruning::kCnp}) {
+    sablock::eval::Metrics best;
+    const char* best_weight = "-";
+    for (MetaWeighting weighting :
+         {MetaWeighting::kArcs, MetaWeighting::kCbs, MetaWeighting::kEcbs,
+          MetaWeighting::kJs, MetaWeighting::kEjs}) {
+      MetaBlocking meta(attributes, weighting, pruning, purge_size);
+      sablock::eval::Metrics m =
+          sablock::eval::Evaluate(d, meta.Prune(d, initial));
+      if (m.fm_star > best.fm_star) {
+        best = m;
+        best_weight = MetaWeightingName(weighting);
+      }
+    }
+    table.AddRow({MetaPruningName(pruning), best_weight,
+                  FormatDouble(best.pc, 3), FormatDouble(best.pq_star, 4),
+                  FormatDouble(best.fm_star, 3)});
+  }
+
+  SemanticParams sp;
+  sp.w = full_width;
+  sp.mode = SemanticMode::kOr;
+  sp.seed = 11;
+  sablock::eval::Metrics sa = sablock::eval::Evaluate(
+      d, SemanticAwareLshBlocker(lsh_params, sp, domain.semantics).Run(d));
+  table.AddRow({"SA-LSH", "-", FormatDouble(sa.pc, 3),
+                FormatDouble(sa.pq_star, 4), FormatDouble(sa.fm_star, 3)});
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t cora_records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
+  size_t voter_records =
+      sablock::bench::SizeFlag(argc, argv, "voter", 30000);
+
+  std::printf("Fig. 12 reproduction (E9): SA-LSH vs meta-blocking\n\n");
+
+  RunDataset("(a) Cora-like data set",
+             sablock::bench::MakePaperCora(cora_records),
+             {"authors", "title"}, sablock::bench::CoraLshParams(),
+             sablock::core::MakeBibliographicDomain(), /*full_width=*/5,
+             /*purge_size=*/400);
+
+  RunDataset("(b) Voter-like data set",
+             sablock::bench::MakePaperVoter(voter_records),
+             {"first_name", "last_name"}, sablock::bench::VoterLshParams(),
+             sablock::core::MakeVoterDomain(), /*full_width=*/12,
+             /*purge_size=*/500);
+
+  std::printf(
+      "Shape check (paper, Fig. 12): meta-blocking's best pruning beats\n"
+      "SA-LSH on FM* (its output is exactly the retained non-redundant\n"
+      "pairs, so PQ* is high by construction), while SA-LSH retains more\n"
+      "true matches per pruning aggressiveness — on Cora it has the\n"
+      "highest PC of all pruned methods, as in the paper.\n");
+  return 0;
+}

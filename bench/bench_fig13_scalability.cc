@@ -1,0 +1,90 @@
+// Experiment E10 — Fig. 13: PC / PQ / RR and wall time of LSH and SA-LSH
+// over Voter-like datasets of increasing size (10k .. 292,892 records,
+// the paper's series), plus the time to build the semantic function (SF):
+// taxonomy construction + record interpretation + semhash signatures.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/domains.h"
+#include "core/lsh_blocker.h"
+#include "core/semhash.h"
+#include "eval/harness.h"
+
+int main(int argc, char** argv) {
+  using sablock::FormatDouble;
+  using sablock::core::LshBlocker;
+  using sablock::core::SemanticAwareLshBlocker;
+  using sablock::core::SemanticMode;
+  using sablock::core::SemanticParams;
+
+  size_t max_records =
+      sablock::bench::SizeFlag(argc, argv, "max", 292892);
+
+  std::printf("Fig. 13 reproduction (E10): scalability on Voter-like data\n"
+              "(k=9, l=15)\n\n");
+
+  // Generate the full set once; prefixes give the size series.
+  sablock::data::Dataset full = sablock::bench::MakePaperVoter(max_records);
+
+  std::vector<size_t> sizes;
+  for (size_t n : {10000u, 50000u, 100000u, 150000u, 200000u, 240000u,
+                   292892u}) {
+    if (n <= max_records) sizes.push_back(n);
+  }
+  if (sizes.empty() || sizes.back() != max_records) {
+    sizes.push_back(max_records);
+  }
+
+  sablock::eval::TablePrinter table(
+      {"records", "method", "PC", "PQ", "RR", "time(s)"});
+  sablock::core::LshParams p = sablock::bench::VoterLshParams();
+
+  for (size_t n : sizes) {
+    sablock::data::Dataset d = full.Prefix(n);
+    sablock::core::Domain domain = sablock::core::MakeVoterDomain();
+
+    sablock::eval::TechniqueResult lsh =
+        sablock::eval::RunTechnique(LshBlocker(p), d);
+    table.AddRow({std::to_string(n), "LSH",
+                  FormatDouble(lsh.metrics.pc, 4),
+                  FormatDouble(lsh.metrics.pq, 4),
+                  FormatDouble(lsh.metrics.rr, 4),
+                  FormatDouble(lsh.seconds, 2)});
+
+    SemanticParams sp;
+    sp.w = 12;
+    sp.mode = SemanticMode::kOr;
+    sp.seed = 11;
+    sablock::eval::TechniqueResult sa = sablock::eval::RunTechnique(
+        SemanticAwareLshBlocker(p, sp, domain.semantics), d);
+    table.AddRow({std::to_string(n), "SA-LSH",
+                  FormatDouble(sa.metrics.pc, 4),
+                  FormatDouble(sa.metrics.pq, 4),
+                  FormatDouble(sa.metrics.rr, 4),
+                  FormatDouble(sa.seconds, 2)});
+
+    // SF: building the semantic machinery alone (taxonomy + interpretation
+    // + semhash signatures), the dashed series of Fig. 13(d).
+    sablock::WallTimer sf_timer;
+    sablock::core::Domain sf_domain = sablock::core::MakeVoterDomain();
+    auto zetas = sf_domain.semantics->InterpretAll(d);
+    auto enc =
+        sablock::core::SemhashEncoder::Build(sf_domain.taxonomy(), zetas);
+    auto sigs = enc.EncodeAll(sf_domain.taxonomy(), zetas);
+    table.AddRow({std::to_string(n), "SF", "-", "-", "-",
+                  FormatDouble(sf_timer.Seconds(), 2)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check (paper, Fig. 13): PC stays flat across sizes (clean\n"
+      "semantics), SA-LSH's PQ stays well above LSH's, RR ~0.9999\n"
+      "everywhere, and all three time series grow linearly with the\n"
+      "number of records, SF being the cheapest.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Experiment E1 — Fig. 5: collision probability of a w-way semantic hash
+// function under different semantic similarities s', for w = 1..15 and
+// µ ∈ {AND, OR}. Pure analytic model (Section 5.2); prints one row per w
+// on the AND side (w = 15..1) followed by the OR side (w = 1..15), exactly
+// the x-axis layout of the figure.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/collision.h"
+#include "eval/harness.h"
+
+int main() {
+  using sablock::core::SemanticMode;
+  using sablock::core::WWayProbability;
+
+  const std::vector<double> similarities = {0.2, 0.3, 0.4, 0.6, 0.7, 0.8};
+
+  std::printf(
+      "Fig. 5 — collision probability of a w-way semantic hash function\n"
+      "x-axis: AND <-- w=15..1 | w=1..15 --> OR; one series per s'\n\n");
+
+  std::vector<std::string> headers = {"side", "w"};
+  for (double s : similarities) {
+    headers.push_back("s'=" + sablock::FormatDouble(s, 1));
+  }
+  sablock::eval::TablePrinter table(headers);
+
+  for (int w = 15; w >= 1; --w) {
+    std::vector<std::string> row = {"AND", std::to_string(w)};
+    for (double s : similarities) {
+      row.push_back(sablock::FormatDouble(
+          WWayProbability(s, w, SemanticMode::kAnd), 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  for (int w = 1; w <= 15; ++w) {
+    std::vector<std::string> row = {"OR", std::to_string(w)};
+    for (double s : similarities) {
+      row.push_back(sablock::FormatDouble(
+          WWayProbability(s, w, SemanticMode::kOr), 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check (paper): AND side decays towards 0, OR side rises\n"
+      "towards 1, and both sides meet at w=1 where AND == OR == s'.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Experiment E2 — Fig. 6: (top) textual-similarity distributions of true
+// matches on the Cora-like and Voter-like datasets for exact values and
+// q = 2, 3, 4 grams; (bottom) the analytic collision-probability curves
+// for the candidate (k, l) settings of both datasets.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/collision.h"
+#include "core/tuning.h"
+#include "eval/harness.h"
+
+namespace {
+
+using sablock::FormatDouble;
+using sablock::core::LshCollisionProbability;
+using sablock::core::MinTablesFor;
+
+void PrintDistributions(const char* title, const sablock::data::Dataset& d,
+                        const std::vector<std::string>& attributes) {
+  std::printf("%s — true-match similarity distribution (%% per bin)\n",
+              title);
+  std::vector<sablock::core::SimilarityDistribution> dists;
+  std::vector<std::string> labels;
+  for (int q : {0, 2, 3, 4}) {
+    sablock::core::DistributionOptions options;
+    options.attributes = attributes;
+    options.q = q;
+    options.max_pairs = 200000;
+    dists.push_back(MeasureTrueMatchSimilarity(d, options));
+    labels.push_back(q == 0 ? "exact" : "q=" + std::to_string(q));
+  }
+
+  std::vector<std::string> headers = {"similarity"};
+  for (const std::string& l : labels) headers.push_back(l);
+  sablock::eval::TablePrinter table(headers);
+  for (int bin = 0; bin < dists[0].num_bins(); ++bin) {
+    std::vector<std::string> row = {
+        FormatDouble(dists[0].BinLowerEdge(bin), 2) + "-" +
+        FormatDouble(dists[0].BinLowerEdge(bin) + 0.05, 2)};
+    for (const auto& dist : dists) {
+      row.push_back(FormatDouble(100.0 * dist.BinFraction(bin), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("  true-match pairs measured: %llu\n\n",
+              static_cast<unsigned long long>(dists[1].count()));
+}
+
+void PrintCollisionCurves(const char* title,
+                          const std::vector<std::pair<int, int>>& settings) {
+  std::printf("%s — collision probability 1-(1-s^k)^l\n", title);
+  std::vector<std::string> headers = {"s"};
+  for (auto [k, l] : settings) {
+    headers.push_back("k=" + std::to_string(k) + ",l=" + std::to_string(l));
+  }
+  sablock::eval::TablePrinter table(headers);
+  for (double s = 0.0; s <= 1.0001; s += 0.1) {
+    std::vector<std::string> row = {FormatDouble(s, 1)};
+    for (auto [k, l] : settings) {
+      row.push_back(FormatDouble(LshCollisionProbability(s, k, l), 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t cora_records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
+  size_t voter_records =
+      sablock::bench::SizeFlag(argc, argv, "voter", 30000);
+
+  std::printf("Fig. 6 reproduction (E2)\n\n");
+
+  sablock::data::Dataset cora = sablock::bench::MakePaperCora(cora_records);
+  PrintDistributions("(a) Cora-like data set", cora, {"authors", "title"});
+
+  sablock::data::Dataset voter =
+      sablock::bench::MakePaperVoter(voter_records);
+  PrintDistributions("(b) Voter-like data set", voter,
+                     {"first_name", "last_name"});
+
+  // Lower-left subgraph: the Cora (k, l) ladder. Each l is the minimum
+  // table count so that s=0.3 collides with probability >= 0.4 (the
+  // paper's ladder k=1..6 -> l=2,6,19,63,210,701).
+  std::vector<std::pair<int, int>> cora_settings;
+  for (int k = 1; k <= 6; ++k) {
+    cora_settings.emplace_back(k, MinTablesFor(0.3, k, 0.4));
+  }
+  PrintCollisionCurves("(c) Cora collision curves", cora_settings);
+
+  // Lower-right subgraph: Voter curves for k=4..9, l=15.
+  std::vector<std::pair<int, int>> voter_settings;
+  for (int k = 4; k <= 9; ++k) voter_settings.emplace_back(k, 15);
+  PrintCollisionCurves("(d) Voter collision curves (l=15)", voter_settings);
+
+  std::printf(
+      "Shape check (paper): Cora matches spread over low similarities\n"
+      "(dirty data), Voter matches concentrate above 0.8 (clean names);\n"
+      "the k-ladder reproduces l=2,6,19,63,210,701.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Experiment E5 — Fig. 8: PC / PQ / RR / FM of SA-LSH on the Voter-like
+// dataset under the five semantic hash functions H21..H25:
+//   H21: w=1    H22: w=3,OR    H23: w=5,OR    H24: w=7,OR    H25: w=9,OR
+// with the paper's textual operating point k=9, l=15.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/domains.h"
+#include "core/lsh_blocker.h"
+#include "eval/harness.h"
+
+int main(int argc, char** argv) {
+  using sablock::FormatDouble;
+  using sablock::core::SemanticAwareLshBlocker;
+  using sablock::core::SemanticMode;
+  using sablock::core::SemanticParams;
+
+  size_t records = sablock::bench::SizeFlag(argc, argv, "voter", 30000);
+  sablock::data::Dataset d = sablock::bench::MakePaperVoter(records);
+  sablock::core::Domain domain = sablock::core::MakeVoterDomain();
+  sablock::core::LshParams lsh = sablock::bench::VoterLshParams();
+
+  std::printf("Fig. 8 reproduction (E5): semantic hash functions on the\n"
+              "Voter-like data set (%zu records), k=%d l=%d\n\n",
+              d.size(), lsh.k, lsh.l);
+
+  struct Config {
+    const char* label;
+    int w;
+  };
+  const std::vector<Config> configs = {
+      {"H21 (w=1)", 1},   {"H22 (w=3,OR)", 3}, {"H23 (w=5,OR)", 5},
+      {"H24 (w=7,OR)", 7}, {"H25 (w=9,OR)", 9},
+  };
+
+  sablock::eval::TablePrinter table(
+      {"config", "PC", "PQ", "RR", "FM", "pairs", "time(s)"});
+  for (const Config& config : configs) {
+    SemanticParams sp;
+    sp.w = config.w;
+    sp.mode = SemanticMode::kOr;
+    sp.seed = 11;
+    sablock::eval::TechniqueResult r = sablock::eval::RunTechnique(
+        SemanticAwareLshBlocker(lsh, sp, domain.semantics), d);
+    table.AddRow({config.label, FormatDouble(r.metrics.pc, 4),
+                  FormatDouble(r.metrics.pq, 4),
+                  FormatDouble(r.metrics.rr, 4),
+                  FormatDouble(r.metrics.fm, 4),
+                  std::to_string(r.metrics.distinct_pairs),
+                  FormatDouble(r.seconds, 3)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check (paper, Fig. 8): PC rises with w (OR) towards the\n"
+      "plain-LSH ceiling; due to the uncertain 'u' values PQ can dip as w\n"
+      "grows; overall quality stabilises once w exceeds ~50%% of the 12\n"
+      "semantic signature bits.\n");
+  return 0;
+}

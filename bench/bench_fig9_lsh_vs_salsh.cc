@@ -1,0 +1,107 @@
+// Experiment E6 — Fig. 9: LSH vs SA-LSH across textual operating points.
+//   (a)-(c) Cora-like: k = 1..6 with the matched minimal l (2, 6, 19, 63,
+//           210, 701), PC / PQ / RR.
+//   (d)-(f) Voter-like: k = 4..9 with l = 15.
+// SA-LSH uses the paper's "lowest semantic threshold" configuration: the
+// full-width OR function (two records are semantically compatible iff they
+// share at least one semantic feature, i.e. simS > 0).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/collision.h"
+#include "core/domains.h"
+#include "core/lsh_blocker.h"
+#include "eval/harness.h"
+
+namespace {
+
+using sablock::FormatDouble;
+using sablock::core::LshBlocker;
+using sablock::core::LshParams;
+using sablock::core::SemanticAwareLshBlocker;
+using sablock::core::SemanticMode;
+using sablock::core::SemanticParams;
+
+void RunSeries(const char* title, const sablock::data::Dataset& d,
+               const sablock::core::Domain& domain,
+               const std::vector<LshParams>& settings, int full_width) {
+  std::printf("%s\n", title);
+  sablock::eval::TablePrinter table({"setting", "method", "PC", "PQ", "RR",
+                                     "FM", "pairs", "time(s)"});
+  for (const LshParams& p : settings) {
+    std::string setting =
+        "k=" + std::to_string(p.k) + " l=" + std::to_string(p.l);
+    sablock::eval::TechniqueResult lsh =
+        sablock::eval::RunTechnique(LshBlocker(p), d);
+    table.AddRow({setting, "LSH", FormatDouble(lsh.metrics.pc, 4),
+                  FormatDouble(lsh.metrics.pq, 4),
+                  FormatDouble(lsh.metrics.rr, 4),
+                  FormatDouble(lsh.metrics.fm, 4),
+                  std::to_string(lsh.metrics.distinct_pairs),
+                  FormatDouble(lsh.seconds, 3)});
+
+    SemanticParams sp;
+    sp.w = full_width;
+    sp.mode = SemanticMode::kOr;
+    sp.seed = 11;
+    sablock::eval::TechniqueResult sa = sablock::eval::RunTechnique(
+        SemanticAwareLshBlocker(p, sp, domain.semantics), d);
+    table.AddRow({setting, "SA-LSH", FormatDouble(sa.metrics.pc, 4),
+                  FormatDouble(sa.metrics.pq, 4),
+                  FormatDouble(sa.metrics.rr, 4),
+                  FormatDouble(sa.metrics.fm, 4),
+                  std::to_string(sa.metrics.distinct_pairs),
+                  FormatDouble(sa.seconds, 3)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t cora_records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
+  size_t voter_records =
+      sablock::bench::SizeFlag(argc, argv, "voter", 30000);
+
+  std::printf("Fig. 9 reproduction (E6): LSH vs SA-LSH\n\n");
+
+  {
+    sablock::data::Dataset d =
+        sablock::bench::MakePaperCora(cora_records);
+    sablock::core::Domain domain =
+        sablock::core::MakeBibliographicDomain();
+    std::vector<LshParams> settings;
+    for (int k = 1; k <= 6; ++k) {
+      LshParams p = sablock::bench::CoraLshParams();
+      p.k = k;
+      p.l = sablock::core::MinTablesFor(0.3, k, 0.4);
+      settings.push_back(p);
+    }
+    RunSeries("(a)-(c) Cora-like data set", d, domain, settings,
+              /*full_width=*/5);
+  }
+  {
+    sablock::data::Dataset d =
+        sablock::bench::MakePaperVoter(voter_records);
+    sablock::core::Domain domain = sablock::core::MakeVoterDomain();
+    std::vector<LshParams> settings;
+    for (int k = 4; k <= 9; ++k) {
+      LshParams p = sablock::bench::VoterLshParams();
+      p.k = k;
+      settings.push_back(p);
+    }
+    RunSeries("(d)-(f) Voter-like data set (l=15)", d, domain, settings,
+              /*full_width=*/12);
+  }
+
+  std::printf(
+      "Shape check (paper, Fig. 9): SA-LSH matches or slightly trails LSH\n"
+      "on PC (gap grows with semantic noise on Cora, vanishes on Voter),\n"
+      "beats it on PQ everywhere, and its RR is at least as high.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Experiment E13 (extension) — the Related-Work LSH variants the paper
+// positions itself against (Section 2): multi-probe LSH [29] and LSH
+// forest [5], compared with banded LSH and SA-LSH on the Cora-like
+// dataset. Demonstrates the trade-offs the paper cites: multi-probe
+// reaches plain-LSH recall with half the tables; the forest needs no k.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/domains.h"
+#include "core/iterative_blocker.h"
+#include "core/lsh_blocker.h"
+#include "core/lsh_variants.h"
+#include "eval/harness.h"
+
+int main(int argc, char** argv) {
+  using sablock::FormatDouble;
+  using sablock::core::LshBlocker;
+  using sablock::core::LshForestBlocker;
+  using sablock::core::LshParams;
+  using sablock::core::MultiProbeLshBlocker;
+  using sablock::core::SemanticAwareLshBlocker;
+  using sablock::core::SemanticMode;
+  using sablock::core::SemanticParams;
+
+  size_t records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
+  sablock::data::Dataset d = sablock::bench::MakePaperCora(records);
+  sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
+
+  std::printf("LSH-variant comparison (E13) on the Cora-like data set "
+              "(%zu records)\n\n", d.size());
+
+  LshParams full = sablock::bench::CoraLshParams();  // k=4, l=63
+  LshParams half = full;
+  half.l = full.l / 2;
+
+  sablock::eval::TablePrinter table(
+      {"technique", "PC", "PQ", "RR", "FM", "pairs", "time(s)"});
+  auto row = [&table](const sablock::eval::TechniqueResult& r) {
+    table.AddRow({r.name, FormatDouble(r.metrics.pc, 4),
+                  FormatDouble(r.metrics.pq, 4),
+                  FormatDouble(r.metrics.rr, 4),
+                  FormatDouble(r.metrics.fm, 4),
+                  std::to_string(r.metrics.distinct_pairs),
+                  FormatDouble(r.seconds, 3)});
+  };
+
+  row(sablock::eval::RunTechnique(LshBlocker(full), d));
+  row(sablock::eval::RunTechnique(LshBlocker(half), d));
+  for (int probes : {1, 2, 4}) {
+    row(sablock::eval::RunTechnique(MultiProbeLshBlocker(half, probes), d));
+  }
+  for (size_t max_block : {10u, 25u, 50u}) {
+    row(sablock::eval::RunTechnique(
+        LshForestBlocker(full, /*max_depth=*/10, max_block), d));
+  }
+  for (int iterations : {1, 3}) {
+    row(sablock::eval::RunTechnique(
+        sablock::core::IterativeLshBlocker(full, /*merge_threshold=*/0.4,
+                                           iterations),
+        d));
+  }
+  SemanticParams sp;
+  sp.w = 5;
+  sp.mode = SemanticMode::kOr;
+  row(sablock::eval::RunTechnique(
+      SemanticAwareLshBlocker(full, sp, domain.semantics), d));
+  table.Print();
+
+  std::printf(
+      "\nExpected trade-offs (Section 2): multi-probe recovers most of the\n"
+      "full-table recall with half the tables (at some PQ cost); the\n"
+      "forest's self-tuning depth trades the choice of k for a block-size\n"
+      "budget; SA-LSH adds the semantic dimension none of them have.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Experiment E11 — google-benchmark micro-benchmarks of the substrate hot
+// paths: string comparators, q-gram shingling, minhash signatures, semhash
+// encoding, concept similarity, pair-set inserts, and end-to-end block
+// construction per record.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/pair_set.h"
+#include "core/domains.h"
+#include "core/lsh_blocker.h"
+#include "core/minhash.h"
+#include "core/semhash.h"
+#include "text/qgram.h"
+#include "text/similarity.h"
+
+namespace {
+
+const char* kNameA = "jonathan mitchell";
+const char* kNameB = "jonathon mitchel";
+const char* kTitleA =
+    "the cascade correlation learning architecture for neural networks";
+const char* kTitleB =
+    "a cascade corelation learning architecture of neural network";
+
+void BM_EditDistance(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sablock::text::EditDistance(kTitleA, kTitleB));
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sablock::text::JaroWinklerSimilarity(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_BigramSimilarity(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sablock::text::BigramSimilarity(kNameA, kNameB));
+  }
+}
+BENCHMARK(BM_BigramSimilarity);
+
+void BM_QGramHashes(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sablock::text::QGramHashes(kTitleA, 3));
+  }
+}
+BENCHMARK(BM_QGramHashes);
+
+void BM_MinhashSignature(benchmark::State& state) {
+  int num_hashes = static_cast<int>(state.range(0));
+  sablock::core::MinHasher hasher(num_hashes, 7);
+  std::vector<uint64_t> shingles = sablock::text::QGramHashes(kTitleA, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hasher.Signature(shingles));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(shingles.size()) *
+                          num_hashes);
+}
+BENCHMARK(BM_MinhashSignature)->Arg(135)->Arg(252);
+
+void BM_ConceptSimilarity(benchmark::State& state) {
+  sablock::core::Taxonomy t =
+      sablock::core::MakeBibliographicTaxonomy();
+  sablock::core::ConceptId c1 = t.Require("C1");
+  sablock::core::ConceptId c2 = t.Require("C2");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.ConceptSimilarity(c1, c2));
+  }
+}
+BENCHMARK(BM_ConceptSimilarity);
+
+void BM_SemhashEncode(benchmark::State& state) {
+  sablock::core::Taxonomy t =
+      sablock::core::MakeBibliographicTaxonomy();
+  sablock::core::SemhashEncoder enc =
+      sablock::core::SemhashEncoder::BuildFromAllLeaves(t);
+  std::vector<sablock::core::ConceptId> zeta = {t.Require("C3"),
+                                                t.Require("C6")};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.Encode(t, zeta));
+  }
+}
+BENCHMARK(BM_SemhashEncode);
+
+void BM_PairSetInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    sablock::PairSet set(1 << 16);
+    for (uint32_t i = 0; i < 10000; ++i) {
+      set.Insert(i, i + 1 + (i % 7));
+    }
+    benchmark::DoNotOptimize(set.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_PairSetInsert);
+
+void BM_LshBlockCora(benchmark::State& state) {
+  sablock::data::Dataset d =
+      sablock::bench::MakePaperCora(static_cast<size_t>(state.range(0)));
+  sablock::core::LshBlocker blocker(sablock::bench::CoraLshParams());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocker.Run(d).NumBlocks());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(d.size()));
+}
+BENCHMARK(BM_LshBlockCora)->Arg(500)->Arg(1879)->Unit(benchmark::kMillisecond);
+
+void BM_SaLshBlockCora(benchmark::State& state) {
+  sablock::data::Dataset d =
+      sablock::bench::MakePaperCora(static_cast<size_t>(state.range(0)));
+  sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
+  sablock::core::SemanticParams sp;
+  sp.w = 5;
+  sp.mode = sablock::core::SemanticMode::kOr;
+  sablock::core::SemanticAwareLshBlocker blocker(
+      sablock::bench::CoraLshParams(), sp, domain.semantics);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(blocker.Run(d).NumBlocks());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(d.size()));
+}
+BENCHMARK(BM_SaLshBlockCora)
+    ->Arg(500)
+    ->Arg(1879)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_VoterInterpretation(benchmark::State& state) {
+  sablock::data::Dataset d = sablock::bench::MakePaperVoter(5000);
+  sablock::core::Domain domain = sablock::core::MakeVoterDomain();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(domain.semantics->InterpretAll(d).size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(d.size()));
+}
+BENCHMARK(BM_VoterInterpretation)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,66 @@
+// Experiment E3 — Table 1: the missing-value patterns over the attributes
+// journal / booktitle / institution of the Cora-like dataset, the concepts
+// each pattern maps to, and how many records fall into each pattern.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/domains.h"
+#include "eval/harness.h"
+
+int main(int argc, char** argv) {
+  using sablock::core::ConceptId;
+
+  size_t records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
+  sablock::data::Dataset d = sablock::bench::MakePaperCora(records);
+  sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
+  const sablock::core::Taxonomy& t = domain.taxonomy();
+
+  std::printf("Table 1 reproduction (E3): missing-value patterns on the\n"
+              "Cora-like data set (%zu records)\n\n", d.size());
+
+  // Pattern id layout matches Table 1 rows 1..8:
+  // bit 2 = journal present, bit 1 = booktitle present, bit 0 = inst.
+  const char* kPatternDesc[8] = {
+      "NULL,NULL,NULL",          "NULL,NULL,NOT NULL",
+      "NULL,NOT NULL,NULL",      "NULL,NOT NULL,NOT NULL",
+      "NOT NULL,NULL,NULL",      "NOT NULL,NULL,NOT NULL",
+      "NOT NULL,NOT NULL,NULL",  "NOT NULL,NOT NULL,NOT NULL"};
+
+  std::vector<size_t> counts(8, 0);
+  std::vector<std::string> concepts(8);
+  for (sablock::data::RecordId id = 0; id < d.size(); ++id) {
+    int pattern = (d.Value(id, "journal").empty() ? 0 : 4) |
+                  (d.Value(id, "booktitle").empty() ? 0 : 2) |
+                  (d.Value(id, "institution").empty() ? 0 : 1);
+    ++counts[static_cast<size_t>(pattern)];
+    if (concepts[static_cast<size_t>(pattern)].empty()) {
+      std::string names;
+      for (ConceptId c : domain.semantics->Interpret(d, id)) {
+        if (!names.empty()) names += ", ";
+        names += t.name(c);
+      }
+      concepts[static_cast<size_t>(pattern)] = names;
+    }
+  }
+
+  sablock::eval::TablePrinter table(
+      {"pattern (journal,booktitle,institution)", "concepts", "records"});
+  // Print in Table 1's order: all-present first.
+  for (int p = 7; p >= 0; --p) {
+    table.AddRow({kPatternDesc[p],
+                  concepts[static_cast<size_t>(p)].empty()
+                      ? "(no record)"
+                      : concepts[static_cast<size_t>(p)],
+                  std::to_string(counts[static_cast<size_t>(p)])});
+  }
+  table.Print();
+
+  std::printf(
+      "\nShape check (paper): the pattern set is complete — every record\n"
+      "maps to a concept set; ambiguous records (pattern NULL,NULL,NULL)\n"
+      "map to the general Publication concept C1.\n");
+  return 0;
+}

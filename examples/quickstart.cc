@@ -1,0 +1,89 @@
+// Quickstart: the paper's running example (Fig. 1) in ~60 lines of API.
+//
+// Six citation records r1..r6; r1, r2 and r6 cite the same paper, r4/r5
+// are technical reports. Textual LSH alone puts the textually identical
+// tech report r4 next to r1; adding the semantic dimension removes it.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/domains.h"
+#include "core/lsh_blocker.h"
+#include "eval/metrics.h"
+
+using sablock::core::LshBlocker;
+using sablock::core::LshParams;
+using sablock::core::SemanticAwareLshBlocker;
+using sablock::core::SemanticMode;
+using sablock::core::SemanticParams;
+using sablock::data::Dataset;
+using sablock::data::Record;
+using sablock::data::Schema;
+
+int main() {
+  // 1. A dataset is a schema plus records (+ optional ground truth).
+  Dataset d{Schema({"title", "authors", "journal", "booktitle",
+                    "institution", "publisher", "year"})};
+  auto add = [&d](const char* title, const char* authors,
+                  const char* journal, const char* booktitle,
+                  const char* institution, sablock::data::EntityId entity) {
+    Record r;
+    r.values = {title, authors, journal, booktitle, institution, "", ""};
+    d.Add(std::move(r), entity);
+  };
+  add("The cascade-correlation learning architecture",
+      "E. Fahlman and C. Lebiere", "", "NISPS Proceedings", "", 0);
+  add("Cascade correlation learning architecture",
+      "E. Fahlman & C. Lebiere", "Neural Information Systems",
+      "Neural Information Systems", "", 0);
+  add("A genetic cascade correlation learning algorithm", "", "",
+      "Proceedings on Neural Ntw.", "", 1);
+  add("The cascade corelation learning architecture",
+      "Fahlman, S., & Lebiere, C.", "", "", "TR", 2);
+  add("Controlled growth of cascade correlation nets", "", "", "",
+      "Technical Report (TR)", 3);
+  add("The cascade-correlation learn architecture",
+      "Lebiere, C. and Fahlman, S.", "", "", "", 0);
+
+  // 2. The bibliographic domain bundles the Fig. 3 taxonomy tree with the
+  //    Table 1 missing-value-pattern semantic function.
+  sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
+
+  // 3. Configure the LSH family: l tables of k minhash rows over q-gram
+  //    shingles of the chosen attributes.
+  LshParams lsh;
+  lsh.k = 2;
+  lsh.l = 24;
+  lsh.q = 3;
+  lsh.attributes = {"authors", "title"};
+
+  // 4. Plain textual LSH blocking ("B1" of Fig. 1).
+  sablock::core::BlockCollection textual = LshBlocker(lsh).Run(d);
+
+  // 5. Semantic-aware LSH blocking ("B3"): a full-width OR semantic hash
+  //    keeps only candidates sharing at least one semantic feature.
+  SemanticParams sem;
+  sem.w = 5;
+  sem.mode = SemanticMode::kOr;
+  sablock::core::BlockCollection combined =
+      SemanticAwareLshBlocker(lsh, sem, domain.semantics).Run(d);
+
+  // 6. Compare.
+  sablock::eval::Metrics m_text = sablock::eval::Evaluate(d, textual);
+  sablock::eval::Metrics m_comb = sablock::eval::Evaluate(d, combined);
+  std::printf("textual LSH : %s\n", sablock::eval::Summary(m_text).c_str());
+  std::printf("SA-LSH      : %s\n", sablock::eval::Summary(m_comb).c_str());
+
+  std::printf("\nr1 vs r4 (same text, different semantics):\n");
+  std::printf("  co-blocked by LSH    : %s\n",
+              textual.InSameBlock(0, 3) ? "yes" : "no");
+  std::printf("  co-blocked by SA-LSH : %s\n",
+              combined.InSameBlock(0, 3) ? "yes" : "no");
+  std::printf("r1 vs r2 (true duplicates):\n");
+  std::printf("  co-blocked by LSH    : %s\n",
+              textual.InSameBlock(0, 1) ? "yes" : "no");
+  std::printf("  co-blocked by SA-LSH : %s\n",
+              combined.InSameBlock(0, 1) ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Record linkage across two data sources: link two snapshots of a voter
+// roll (A = older snapshot, B = newer snapshot with re-registered voters).
+// Unlike deduplication, only cross-source pairs are candidates; the
+// example shows the merge → block → cross-restrict workflow and compares
+// plain LSH with SA-LSH on the linkage task.
+//
+// Usage: ./build/examples/record_linkage [records_a] [records_b]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/domains.h"
+#include "core/linkage.h"
+#include "core/lsh_blocker.h"
+#include "data/voter_generator.h"
+#include "eval/metrics.h"
+
+using sablock::core::BlockCollection;
+using sablock::core::CrossSourceBlocks;
+using sablock::core::LinkageDataset;
+using sablock::core::LshBlocker;
+using sablock::core::LshParams;
+using sablock::core::SemanticAwareLshBlocker;
+using sablock::core::SemanticMode;
+using sablock::core::SemanticParams;
+
+namespace {
+
+void Report(const char* label, const LinkageDataset& link,
+            const BlockCollection& blocks) {
+  BlockCollection cross = CrossSourceBlocks(blocks, link.boundary);
+  sablock::PairSet pairs = cross.DistinctPairs();
+  uint64_t true_cross = CountCrossTrueMatches(link);
+  uint64_t found = 0;
+  pairs.ForEach([&](uint32_t x, uint32_t y) {
+    if (link.merged.IsMatch(x, y)) ++found;
+  });
+  double pc = true_cross > 0
+                  ? static_cast<double>(found) /
+                        static_cast<double>(true_cross)
+                  : 0.0;
+  double pq = pairs.size() > 0 ? static_cast<double>(found) /
+                                     static_cast<double>(pairs.size())
+                               : 0.0;
+  double rr = 1.0 - static_cast<double>(pairs.size()) /
+                        static_cast<double>(TotalCrossPairs(link));
+  std::printf("%-10s PC=%.4f PQ=%.4f RR=%.6f candidates=%zu (of %llu "
+              "cross pairs)\n",
+              label, pc, pq, rr, pairs.size(),
+              static_cast<unsigned long long>(TotalCrossPairs(link)));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t records_a =
+      argc > 1 ? static_cast<size_t>(std::atol(argv[1])) : 5000;
+  size_t records_b =
+      argc > 2 ? static_cast<size_t>(std::atol(argv[2])) : 4000;
+
+  // Two snapshots: 45% of B re-describes a voter from A (typos, nicknames,
+  // surname changes and uncertain gender/race included).
+  sablock::data::VoterGeneratorConfig config;
+  config.seed = 23;
+  sablock::data::Dataset a;
+  sablock::data::Dataset b;
+  GenerateVoterLinkagePair(config, records_a, records_b, 0.45, &a, &b);
+  LinkageDataset link = sablock::core::MergeForLinkage(a, b);
+  std::printf("source A: %zu records, source B: %zu records, "
+              "true cross matches: %llu\n\n",
+              a.size(), b.size(),
+              static_cast<unsigned long long>(CountCrossTrueMatches(link)));
+
+  LshParams lsh;
+  lsh.k = 6;
+  lsh.l = 15;
+  lsh.q = 2;
+  lsh.attributes = {"first_name", "last_name"};
+
+  Report("LSH", link, LshBlocker(lsh).Run(link.merged));
+
+  sablock::core::Domain domain = sablock::core::MakeVoterDomain();
+  SemanticParams sem;
+  sem.w = 12;
+  sem.mode = SemanticMode::kOr;
+  Report("SA-LSH", link,
+         SemanticAwareLshBlocker(lsh, sem, domain.semantics)
+             .Run(link.merged));
+
+  std::printf(
+      "\nThe semantic dimension pays off in linkage exactly as in\n"
+      "deduplication: voters whose names collide textually but whose\n"
+      "gender/race disagree are never proposed as link candidates.\n");
+  return 0;
+}

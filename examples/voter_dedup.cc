@@ -1,0 +1,75 @@
+// Voter-roll deduplication with uncertain semantic attributes: gender and
+// race carry 'u' (unknown) values, so the example uses a w-way OR semantic
+// hash and shows the PC / PQ trade-off as w varies — the decision
+// procedure of Section 5.3 step (iii).
+//
+// Usage: ./build/examples/voter_dedup [records]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "core/domains.h"
+#include "core/lsh_blocker.h"
+#include "data/voter_generator.h"
+#include "eval/harness.h"
+
+using sablock::core::LshBlocker;
+using sablock::core::LshParams;
+using sablock::core::SemanticAwareLshBlocker;
+using sablock::core::SemanticMode;
+using sablock::core::SemanticParams;
+
+int main(int argc, char** argv) {
+  size_t records =
+      argc > 1 ? static_cast<size_t>(std::atol(argv[1])) : 30000;
+
+  sablock::data::VoterGeneratorConfig config;
+  config.num_records = records;
+  config.seed = 97;
+  sablock::data::Dataset d = GenerateVoterLike(config);
+  std::printf("dataset: %zu records, %llu true match pairs\n\n", d.size(),
+              static_cast<unsigned long long>(d.CountTrueMatchPairs()));
+
+  // The voter domain: person taxonomy over gender × race (12 leaves) and
+  // a value-based semantic function that sends 'u' values to internal
+  // nodes (uncertainty = generality).
+  sablock::core::Domain domain = sablock::core::MakeVoterDomain();
+
+  LshParams lsh;
+  lsh.k = 9;
+  lsh.l = 15;
+  lsh.q = 2;
+  lsh.attributes = {"first_name", "last_name"};
+
+  sablock::eval::TablePrinter table(
+      {"technique", "PC", "PQ", "RR", "FM", "pairs", "time(s)"});
+  auto row = [&table](const sablock::eval::TechniqueResult& r) {
+    table.AddRow({r.name, sablock::FormatDouble(r.metrics.pc, 4),
+                  sablock::FormatDouble(r.metrics.pq, 4),
+                  sablock::FormatDouble(r.metrics.rr, 4),
+                  sablock::FormatDouble(r.metrics.fm, 4),
+                  std::to_string(r.metrics.distinct_pairs),
+                  sablock::FormatDouble(r.seconds, 3)});
+  };
+
+  row(sablock::eval::RunTechnique(LshBlocker(lsh), d));
+  // Sweep the OR width: small w drops uncertain matches (low PC), large w
+  // approaches the semantic-compatibility filter (the paper's preferred
+  // setting for uncertain features).
+  for (int w : {1, 3, 5, 9, 12}) {
+    SemanticParams sem;
+    sem.w = w;
+    sem.mode = SemanticMode::kOr;
+    row(sablock::eval::RunTechnique(
+        SemanticAwareLshBlocker(lsh, sem, domain.semantics), d));
+  }
+  table.Print();
+
+  std::printf(
+      "\nReading the sweep: with uncertain features, small w is too\n"
+      "aggressive (PC loss); w >= ~half the signature width recovers PC\n"
+      "while still improving PQ over plain LSH — the paper's guidance for\n"
+      "noisy/uncertain semantic features (Section 5.3, step iii).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+#include "baselines/blocking_key.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/phonetic.h"
+
+namespace sablock::baselines {
+
+std::string MakeKey(const data::Dataset& dataset, data::RecordId id,
+                    const BlockingKeyDef& def) {
+  std::string key;
+  for (const KeyComponent& comp : def.components) {
+    std::string value =
+        sablock::NormalizeForMatching(dataset.Value(id, comp.attribute));
+    if (value.empty()) continue;
+    switch (comp.encoding) {
+      case KeyComponent::Encoding::kExact:
+        key += value;
+        break;
+      case KeyComponent::Encoding::kPrefix:
+        key += value.substr(
+            0, std::min<size_t>(value.size(),
+                                static_cast<size_t>(comp.prefix_len)));
+        break;
+      case KeyComponent::Encoding::kSoundex: {
+        std::vector<std::string> words = sablock::SplitWords(value);
+        if (!words.empty()) key += text::Soundex(words.front());
+        break;
+      }
+      case KeyComponent::Encoding::kNysiis: {
+        std::vector<std::string> words = sablock::SplitWords(value);
+        if (!words.empty()) key += text::Nysiis(words.front());
+        break;
+      }
+      case KeyComponent::Encoding::kFirstWord: {
+        std::vector<std::string> words = sablock::SplitWords(value);
+        if (!words.empty()) key += words.front();
+        break;
+      }
+    }
+  }
+  return key;
+}
+
+std::vector<std::string> MakeAllKeys(const data::Dataset& dataset,
+                                     const BlockingKeyDef& def) {
+  std::vector<std::string> keys;
+  keys.reserve(dataset.size());
+  for (data::RecordId id = 0; id < dataset.size(); ++id) {
+    keys.push_back(MakeKey(dataset, id, def));
+  }
+  return keys;
+}
+
+BlockingKeyDef ExactKey(const std::vector<std::string>& attributes) {
+  BlockingKeyDef def;
+  for (const std::string& attr : attributes) {
+    def.components.push_back({attr, KeyComponent::Encoding::kExact, 0});
+  }
+  return def;
+}
+
+BlockingKeyDef PhoneticPrefixKey(const std::string& name_attribute,
+                                 const std::string& other_attribute,
+                                 int prefix_len) {
+  BlockingKeyDef def;
+  def.components.push_back(
+      {name_attribute, KeyComponent::Encoding::kSoundex, 0});
+  def.components.push_back(
+      {other_attribute, KeyComponent::Encoding::kPrefix, prefix_len});
+  return def;
+}
+
+}  // namespace sablock::baselines

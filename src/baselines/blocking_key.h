@@ -1,0 +1,53 @@
+#ifndef SABLOCK_BASELINES_BLOCKING_KEY_H_
+#define SABLOCK_BASELINES_BLOCKING_KEY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/record.h"
+
+namespace sablock::baselines {
+
+/// How one attribute contributes to a blocking-key value (BKV).
+struct KeyComponent {
+  enum class Encoding {
+    kExact,      ///< normalized full value
+    kPrefix,     ///< first `prefix_len` characters of the normalized value
+    kSoundex,    ///< Soundex code of the first word
+    kNysiis,     ///< NYSIIS code of the first word
+    kFirstWord,  ///< first word of the normalized value
+  };
+  std::string attribute;
+  Encoding encoding = Encoding::kExact;
+  int prefix_len = 4;
+};
+
+/// A blocking-key definition: the concatenation of encoded attribute
+/// values. The paper defines the Cora key on authors + title and the
+/// NC Voter key on first_name + last_name; helpers below build those.
+struct BlockingKeyDef {
+  std::vector<KeyComponent> components;
+};
+
+/// Computes the BKV of one record (components joined without separator;
+/// missing values contribute nothing).
+std::string MakeKey(const data::Dataset& dataset, data::RecordId id,
+                    const BlockingKeyDef& def);
+
+/// Computes all records' BKVs.
+std::vector<std::string> MakeAllKeys(const data::Dataset& dataset,
+                                     const BlockingKeyDef& def);
+
+/// Exact-value key over the given attributes (sorted-neighbourhood style
+/// sorting key).
+BlockingKeyDef ExactKey(const std::vector<std::string>& attributes);
+
+/// Phonetic key: Soundex of the first attribute's first word + prefix of
+/// the second attribute (the classic TBlo key shape).
+BlockingKeyDef PhoneticPrefixKey(const std::string& name_attribute,
+                                 const std::string& other_attribute,
+                                 int prefix_len = 4);
+
+}  // namespace sablock::baselines
+
+#endif  // SABLOCK_BASELINES_BLOCKING_KEY_H_

@@ -1,0 +1,67 @@
+#ifndef SABLOCK_BASELINES_META_BLOCKING_H_
+#define SABLOCK_BASELINES_META_BLOCKING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/blocking_key.h"
+#include "core/blocking.h"
+
+namespace sablock::baselines {
+
+/// Edge-weighting schemes of the meta-blocking paper (Papadakis et al.,
+/// TKDE 2014), used in the Fig. 12 comparison.
+enum class MetaWeighting {
+  kArcs,  ///< Σ over common blocks of 1 / ||b|| (reciprocal comparisons)
+  kCbs,   ///< number of common blocks
+  kEcbs,  ///< CBS · log(|B|/|B_i|) · log(|B|/|B_j|)
+  kJs,    ///< Jaccard of the two records' block sets
+  kEjs,   ///< JS · log(|E|/|v_i|) · log(|E|/|v_j|)
+};
+
+/// Pruning algorithms of the meta-blocking paper.
+enum class MetaPruning {
+  kWep,  ///< weighted edge pruning: keep edges >= global mean weight
+  kCep,  ///< cardinality edge pruning: keep top-K edges, K = ⌊Σ|b|/2⌋
+  kWnp,  ///< weighted node pruning: keep edges >= a node-local mean
+  kCnp,  ///< cardinality node pruning: per-node top-k, k = ⌊Σ|b|/|V|⌋
+};
+
+const char* MetaWeightingName(MetaWeighting w);
+const char* MetaPruningName(MetaPruning p);
+
+/// Token blocking: the canonical schema-agnostic input of meta-blocking.
+/// Every distinct token of the key attributes becomes a block; blocks
+/// larger than `max_block_size` are purged (standard block-purging step,
+/// required to keep the blocking graph tractable).
+core::BlockCollection TokenBlocking(const data::Dataset& dataset,
+                                    const std::vector<std::string>& attributes,
+                                    size_t max_block_size);
+
+/// Meta-blocking: builds the blocking graph of an input block collection,
+/// weights its edges, prunes, and returns the retained comparisons as
+/// 2-record blocks.
+class MetaBlocking : public core::BlockingTechnique {
+ public:
+  MetaBlocking(std::vector<std::string> attributes, MetaWeighting weighting,
+               MetaPruning pruning, size_t max_block_size = 500);
+
+  std::string name() const override;
+  core::BlockCollection Run(const data::Dataset& dataset) const override;
+
+  /// Runs the graph phase on a pre-built block collection (exposed so the
+  /// Fig. 12 bench can report the initial blocks' metrics too).
+  core::BlockCollection Prune(const data::Dataset& dataset,
+                              const core::BlockCollection& input) const;
+
+ private:
+  std::vector<std::string> attributes_;
+  MetaWeighting weighting_;
+  MetaPruning pruning_;
+  size_t max_block_size_;
+};
+
+}  // namespace sablock::baselines
+
+#endif  // SABLOCK_BASELINES_META_BLOCKING_H_

@@ -1,0 +1,91 @@
+#include "baselines/sorted_neighbourhood.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/check.h"
+#include "core/block_utils.h"
+
+namespace sablock::baselines {
+
+core::BlockCollection SortedNeighbourhoodArray::Run(
+    const data::Dataset& dataset) const {
+  SABLOCK_CHECK(window_size_ >= 2);
+  std::vector<std::string> keys = MakeAllKeys(dataset, key_);
+  std::vector<data::RecordId> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&keys](data::RecordId a, data::RecordId b) {
+                     return keys[a] < keys[b];
+                   });
+
+  core::BlockCollection out;
+  const size_t n = order.size();
+  const size_t w = static_cast<size_t>(window_size_);
+  if (n < 2) return out;
+  if (w >= n) {
+    out.Add(std::move(order));
+    return out;
+  }
+  for (size_t start = 0; start + w <= n; ++start) {
+    out.Add(core::Block(order.begin() + static_cast<ptrdiff_t>(start),
+                        order.begin() + static_cast<ptrdiff_t>(start + w)));
+  }
+  return out;
+}
+
+core::BlockCollection SortedNeighbourhoodInvertedIndex::Run(
+    const data::Dataset& dataset) const {
+  SABLOCK_CHECK(window_size_ >= 1);
+  std::vector<std::string> keys = MakeAllKeys(dataset, key_);
+  std::map<std::string, core::Block> index;  // sorted unique keys
+  for (data::RecordId id = 0; id < dataset.size(); ++id) {
+    index[keys[id]].push_back(id);
+  }
+  std::vector<const core::Block*> postings;
+  postings.reserve(index.size());
+  for (const auto& [key, block] : index) {
+    postings.push_back(&block);
+  }
+
+  core::BlockCollection out;
+  const size_t w = static_cast<size_t>(window_size_);
+  for (size_t start = 0; start < postings.size(); ++start) {
+    size_t end = std::min(start + w, postings.size());
+    core::Block merged;
+    for (size_t i = start; i < end; ++i) {
+      merged.insert(merged.end(), postings[i]->begin(), postings[i]->end());
+    }
+    if (merged.size() >= 2) out.Add(std::move(merged));
+    if (end == postings.size()) break;
+  }
+  return out;
+}
+
+MultiPassSortedNeighbourhood::MultiPassSortedNeighbourhood(
+    std::vector<BlockingKeyDef> keys, int window_size)
+    : keys_(std::move(keys)), window_size_(window_size) {
+  SABLOCK_CHECK(!keys_.empty());
+  SABLOCK_CHECK(window_size_ >= 2);
+}
+
+std::string MultiPassSortedNeighbourhood::name() const {
+  return "SorMP(passes=" + std::to_string(keys_.size()) +
+         ",w=" + std::to_string(window_size_) + ")";
+}
+
+core::BlockCollection MultiPassSortedNeighbourhood::Run(
+    const data::Dataset& dataset) const {
+  core::BlockCollection all_windows;
+  for (const BlockingKeyDef& key : keys_) {
+    SortedNeighbourhoodArray pass(key, window_size_);
+    core::BlockCollection windows = pass.Run(dataset);
+    for (const core::Block& b : windows.blocks()) {
+      all_windows.Add(b);
+    }
+  }
+  return core::ConnectedComponents(all_windows, dataset.size());
+}
+
+}  // namespace sablock::baselines

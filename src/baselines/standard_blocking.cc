@@ -1,0 +1,22 @@
+#include "baselines/standard_blocking.h"
+
+#include <unordered_map>
+
+namespace sablock::baselines {
+
+core::BlockCollection StandardBlocking::Run(
+    const data::Dataset& dataset) const {
+  std::unordered_map<std::string, core::Block> buckets;
+  for (data::RecordId id = 0; id < dataset.size(); ++id) {
+    std::string key = MakeKey(dataset, id, key_);
+    if (key.empty()) continue;  // records without a key are not blocked
+    buckets[key].push_back(id);
+  }
+  core::BlockCollection out;
+  for (auto& [key, block] : buckets) {
+    if (block.size() >= 2) out.Add(std::move(block));
+  }
+  return out;
+}
+
+}  // namespace sablock::baselines

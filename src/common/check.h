@@ -1,0 +1,40 @@
+#ifndef SABLOCK_COMMON_CHECK_H_
+#define SABLOCK_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Lightweight invariant-checking macros.
+///
+/// The library does not use exceptions (see DESIGN.md §8); programming errors
+/// and violated invariants abort with a diagnostic instead. `SABLOCK_CHECK`
+/// is always on; `SABLOCK_DCHECK` compiles away in NDEBUG builds.
+
+#define SABLOCK_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,      \
+                   __LINE__, #cond);                                     \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#define SABLOCK_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__, \
+                   __LINE__, #cond, msg);                                \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#ifdef NDEBUG
+#define SABLOCK_DCHECK(cond) \
+  do {                       \
+  } while (0)
+#else
+#define SABLOCK_DCHECK(cond) SABLOCK_CHECK(cond)
+#endif
+
+#endif  // SABLOCK_COMMON_CHECK_H_

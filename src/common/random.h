@@ -1,0 +1,92 @@
+#ifndef SABLOCK_COMMON_RANDOM_H_
+#define SABLOCK_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sablock {
+
+/// Deterministic random source. Every stochastic component in the library
+/// (generators, corruption, canopy seeds, w-way hash selection) takes an
+/// explicit seed so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    SABLOCK_DCHECK(lo <= hi);
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform size_t index in [0, n).
+  size_t UniformIndex(size_t n) {
+    SABLOCK_DCHECK(n > 0);
+    std::uniform_int_distribution<size_t> dist(0, n - 1);
+    return dist(engine_);
+  }
+
+  /// Uniform real in [0, 1).
+  double UniformReal() {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformReal() < p; }
+
+  /// Zipf-like skewed index in [0, n): smaller indices are more likely.
+  /// Used by the data generators to give word pools realistic frequencies.
+  size_t SkewedIndex(size_t n, double skew = 1.0) {
+    SABLOCK_DCHECK(n > 0);
+    double u = UniformReal();
+    // Inverse-CDF of a truncated Pareto-ish distribution.
+    double x = (std::pow(static_cast<double>(n) + 1.0, 1.0 - skew) - 1.0) * u;
+    double idx = std::pow(x + 1.0, 1.0 / (1.0 - skew)) - 1.0;
+    size_t i = static_cast<size_t>(idx);
+    return i < n ? i : n - 1;
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    SABLOCK_DCHECK(!v.empty());
+    return v[UniformIndex(v.size())];
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      std::swap((*v)[i - 1], (*v)[UniformIndex(i)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    SABLOCK_DCHECK(k <= n);
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      std::swap(all[i], all[i + UniformIndex(n - i)]);
+    }
+    all.resize(k);
+    return all;
+  }
+
+  /// Underlying engine, for std distributions not wrapped here.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sablock
+
+#endif  // SABLOCK_COMMON_RANDOM_H_

@@ -1,0 +1,41 @@
+#ifndef SABLOCK_COMMON_STATUS_H_
+#define SABLOCK_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace sablock {
+
+/// Result of a fallible operation (mainly file IO). The library avoids
+/// exceptions; functions that can fail for environmental reasons return a
+/// Status (or a value plus a Status out-parameter).
+class Status {
+ public:
+  /// Successful status.
+  Status() = default;
+
+  /// Returns an OK status.
+  static Status Ok() { return Status(); }
+
+  /// Returns an error status carrying a human-readable message.
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  /// True if the operation succeeded.
+  bool ok() const { return ok_; }
+
+  /// Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+}  // namespace sablock
+
+#endif  // SABLOCK_COMMON_STATUS_H_

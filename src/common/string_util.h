@@ -1,0 +1,44 @@
+#ifndef SABLOCK_COMMON_STRING_UTIL_H_
+#define SABLOCK_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sablock {
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on runs of whitespace; drops empty fields.
+std::vector<std::string> SplitWords(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Collapses internal whitespace runs to single spaces and trims the ends.
+std::string NormalizeWhitespace(std::string_view s);
+
+/// Lowercases and keeps only [a-z0-9 ]; other characters become spaces and
+/// whitespace is normalized. The canonical text normalization applied before
+/// q-gram shingling and blocking-key generation.
+std::string NormalizeForMatching(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with `digits` decimal places (locale-independent).
+std::string FormatDouble(double value, int digits);
+
+}  // namespace sablock
+
+#endif  // SABLOCK_COMMON_STRING_UTIL_H_

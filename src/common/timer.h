@@ -1,0 +1,32 @@
+#ifndef SABLOCK_COMMON_TIMER_H_
+#define SABLOCK_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace sablock {
+
+/// Wall-clock stopwatch used by the benchmark harness to time block
+/// construction (Table 3 / Fig. 13 style measurements).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sablock
+
+#endif  // SABLOCK_COMMON_TIMER_H_

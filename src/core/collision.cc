@@ -1,0 +1,37 @@
+#include "core/collision.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace sablock::core {
+
+double LshCollisionProbability(double s, int k, int l) {
+  SABLOCK_DCHECK(s >= 0.0 && s <= 1.0 && k > 0 && l > 0);
+  return 1.0 - std::pow(1.0 - std::pow(s, k), l);
+}
+
+double WWayProbability(double s_prime, int w, SemanticMode mode) {
+  SABLOCK_DCHECK(s_prime >= 0.0 && s_prime <= 1.0 && w > 0);
+  if (mode == SemanticMode::kAnd) {
+    return std::pow(s_prime, w);
+  }
+  return 1.0 - std::pow(1.0 - s_prime, w);
+}
+
+double SaLshCollisionProbability(double s, double s_prime, int k, int l,
+                                 int w, SemanticMode mode) {
+  double p = WWayProbability(s_prime, w, mode);
+  return 1.0 - std::pow(1.0 - std::pow(s, k) * p, l);
+}
+
+int MinTablesFor(double s, int k, double p) {
+  double sk = std::pow(s, k);
+  if (sk <= 0.0 || sk >= 1.0 || p >= 1.0) return -1;
+  if (p <= 0.0) return 1;
+  // 1 - (1 - s^k)^l >= p  <=>  l >= log(1 - p) / log(1 - s^k).
+  double l = std::log(1.0 - p) / std::log(1.0 - sk);
+  return static_cast<int>(std::ceil(l - 1e-12));
+}
+
+}  // namespace sablock::core

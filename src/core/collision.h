@@ -1,0 +1,32 @@
+#ifndef SABLOCK_CORE_COLLISION_H_
+#define SABLOCK_CORE_COLLISION_H_
+
+#include "core/lsh_blocker.h"
+
+namespace sablock::core {
+
+/// Analytic collision model of Section 5 — the S-curves of Figs. 5 and 6.
+
+/// Probability that two records with textual (Jaccard) similarity `s` are
+/// placed in the same block by a banded LSH index with k rows and l tables:
+///   P = 1 - (1 - s^k)^l.
+double LshCollisionProbability(double s, int k, int l);
+
+/// Probability that a w-way semantic hash function returns true for two
+/// records whose per-function agreement probability is s' (Section 5.2):
+///   AND: (s')^w      OR: 1 - (1 - s')^w.
+double WWayProbability(double s_prime, int w, SemanticMode mode);
+
+/// Collision probability of the semantic-aware LSH family:
+///   P = 1 - (1 - s^k · p)^l  with p = WWayProbability(s', w, mode).
+double SaLshCollisionProbability(double s, double s_prime, int k, int l,
+                                 int w, SemanticMode mode);
+
+/// Smallest l such that records of similarity `s` collide with probability
+/// at least `p` for the given k; returns -1 if unsatisfiable (s^k == 0 or
+/// p >= 1).
+int MinTablesFor(double s, int k, double p);
+
+}  // namespace sablock::core
+
+#endif  // SABLOCK_CORE_COLLISION_H_

@@ -1,0 +1,120 @@
+#include "core/domains.h"
+
+#include "common/check.h"
+
+namespace sablock::core {
+
+namespace {
+
+using Pred = AttributePredicate;
+
+Taxonomy MakeBibVariant(BibVariant variant) {
+  switch (variant) {
+    case BibVariant::kFull:
+      return MakeBibliographicTaxonomy();
+    case BibVariant::kNoReviewLevel:
+      return MakeBibliographicTaxonomyNoReviewLevel();
+    case BibVariant::kNoBook:
+      return MakeBibliographicTaxonomyNoBook();
+    case BibVariant::kNoJournal:
+      return MakeBibliographicTaxonomyNoJournal();
+  }
+  SABLOCK_CHECK(false);
+  return MakeBibliographicTaxonomy();
+}
+
+}  // namespace
+
+Domain MakeBibliographicDomain(BibVariant variant) {
+  // Missing-value patterns of Table 1 over journal/booktitle/institution.
+  std::vector<SemanticRule> rules;
+  auto add = [&rules](bool journal, bool booktitle, bool institution,
+                      std::vector<std::string> concepts) {
+    SemanticRule rule;
+    rule.conditions.push_back(journal ? Pred::Present("journal")
+                                      : Pred::Missing("journal"));
+    rule.conditions.push_back(booktitle ? Pred::Present("booktitle")
+                                        : Pred::Missing("booktitle"));
+    rule.conditions.push_back(institution ? Pred::Present("institution")
+                                          : Pred::Missing("institution"));
+    rule.concepts = std::move(concepts);
+    rules.push_back(std::move(rule));
+  };
+  add(true, true, true, {"C3", "C4", "C6"});    // pattern 1
+  add(true, true, false, {"C3", "C4"});         // pattern 2
+  add(true, false, true, {"C3", "C6"});         // pattern 3
+  add(true, false, false, {"C3"});              // pattern 4
+  add(false, true, true, {"C4", "C7", "C8"});   // pattern 5
+  add(false, true, false, {"C4"});              // pattern 6
+  add(false, false, true, {"C7", "C8"});        // pattern 7
+  add(false, false, false, {"C1"});             // pattern 8
+
+  // Parent fallbacks for taxonomy variants with missing concepts.
+  std::unordered_map<std::string, std::string> fallback = {
+      {"C3", "C2"}, {"C4", "C2"}, {"C5", "C2"}, {"C7", "C6"}, {"C8", "C6"},
+      {"C2", "C1"}, {"C6", "C1"}, {"C1", "C0"}, {"C9", "C0"},
+  };
+
+  Domain domain;
+  domain.semantics = std::make_shared<RuleSemanticFunction>(
+      MakeBibVariant(variant), std::move(rules), std::move(fallback));
+  domain.blocking_attributes = {"authors", "title"};
+  return domain;
+}
+
+const std::vector<std::string>& VoterRaceCodes() {
+  static const std::vector<std::string> kRaces = {"w", "b", "a",
+                                                  "i", "o", "h"};
+  return kRaces;
+}
+
+Domain MakeVoterDomain() {
+  Taxonomy t;
+  ConceptId person = t.AddConcept("person");
+  ConceptId male = t.AddConcept("male", person);
+  ConceptId female = t.AddConcept("female", person);
+  for (const std::string& race : VoterRaceCodes()) {
+    t.AddConcept("male_" + race, male);
+  }
+  for (const std::string& race : VoterRaceCodes()) {
+    t.AddConcept("female_" + race, female);
+  }
+  t.Finalize();
+
+  std::vector<SemanticRule> rules;
+  // Most specific first: known gender and race.
+  for (const std::string& g : {std::string("m"), std::string("f")}) {
+    const std::string gender_node = (g == "m") ? "male" : "female";
+    for (const std::string& race : VoterRaceCodes()) {
+      SemanticRule rule;
+      rule.conditions = {Pred::Equals("gender", g),
+                         Pred::Equals("race", race)};
+      rule.concepts = {gender_node + "_" + race};
+      rules.push_back(std::move(rule));
+    }
+  }
+  // Known gender, unknown/uncertain race -> the gender node.
+  for (const std::string& g : {std::string("m"), std::string("f")}) {
+    SemanticRule rule;
+    rule.conditions = {Pred::Equals("gender", g)};
+    rule.concepts = {(g == "m") ? "male" : "female"};
+    rules.push_back(std::move(rule));
+  }
+  // Unknown gender, known race -> that race's leaf under both genders.
+  for (const std::string& race : VoterRaceCodes()) {
+    SemanticRule rule;
+    rule.conditions = {Pred::Equals("race", race)};
+    rule.concepts = {"male_" + race, "female_" + race};
+    rules.push_back(std::move(rule));
+  }
+  // Nothing usable -> the root (fully ambiguous).
+  rules.push_back(SemanticRule{{}, {"person"}});
+
+  Domain domain;
+  domain.semantics = std::make_shared<RuleSemanticFunction>(
+      std::move(t), std::move(rules));
+  domain.blocking_attributes = {"first_name", "last_name"};
+  return domain;
+}
+
+}  // namespace sablock::core

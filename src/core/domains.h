@@ -1,0 +1,51 @@
+#ifndef SABLOCK_CORE_DOMAINS_H_
+#define SABLOCK_CORE_DOMAINS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/semantic.h"
+
+namespace sablock::core {
+
+/// A ready-to-use experimental domain: the semantic machinery (taxonomy +
+/// semantic function) plus the blocking attributes the paper uses for the
+/// corresponding dataset.
+struct Domain {
+  std::shared_ptr<const SemanticFunction> semantics;
+  std::vector<std::string> blocking_attributes;
+
+  const Taxonomy& taxonomy() const { return semantics->taxonomy(); }
+};
+
+/// Which variant of the bibliographic taxonomy t_bib to use (Fig. 10).
+enum class BibVariant {
+  kFull,           ///< t_bib of Fig. 3
+  kNoReviewLevel,  ///< t_(bib,1): PeerReviewed / NonPeerReviewed removed
+  kNoBook,         ///< t_(bib,2): Book removed
+  kNoJournal,      ///< t_(bib,3): Journal removed
+};
+
+/// Bibliographic domain (Cora experiments): taxonomy variant + the
+/// missing-value-pattern semantic function of Table 1 over the attributes
+/// `journal`, `booktitle`, `institution`, with blocking on authors + title.
+/// Concepts referencing nodes absent from the chosen variant fall back to
+/// their parents (Section 6.3.3).
+Domain MakeBibliographicDomain(BibVariant variant = BibVariant::kFull);
+
+/// Voter domain (NC Voter experiments): a two-level person taxonomy
+/// (gender × race, 12 leaf concepts — the paper's 12-bit signatures) and a
+/// value-based semantic function over the `gender` and `race` attributes.
+/// Uncertain values ('u' or missing) map to the most specific concept still
+/// supported by the data: unknown race -> the gender node; unknown gender
+/// -> both race leaves; both unknown -> the root. Blocking is on
+/// first_name + last_name.
+Domain MakeVoterDomain();
+
+/// Race codes used by the voter domain and generator.
+const std::vector<std::string>& VoterRaceCodes();
+
+}  // namespace sablock::core
+
+#endif  // SABLOCK_CORE_DOMAINS_H_

@@ -1,0 +1,69 @@
+#include "core/linkage.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+
+namespace sablock::core {
+
+LinkageDataset MergeForLinkage(const data::Dataset& a,
+                               const data::Dataset& b) {
+  SABLOCK_CHECK_MSG(a.schema().names() == b.schema().names(),
+                    "linkage requires identical schemas");
+  LinkageDataset out;
+  out.merged = data::Dataset(a.schema());
+  for (data::RecordId id = 0; id < a.size(); ++id) {
+    out.merged.Add(a.record(id), a.entity(id));
+  }
+  out.boundary = static_cast<data::RecordId>(a.size());
+  for (data::RecordId id = 0; id < b.size(); ++id) {
+    out.merged.Add(b.record(id), b.entity(id));
+  }
+  return out;
+}
+
+BlockCollection CrossSourceBlocks(const BlockCollection& blocks,
+                                  data::RecordId boundary) {
+  // Deduplicate cross pairs across blocks so the output is minimal.
+  PairSet seen(std::min<uint64_t>(blocks.TotalComparisons() + 1, 1ULL << 22));
+  BlockCollection out;
+  for (const Block& block : blocks.blocks()) {
+    for (data::RecordId x : block) {
+      if (x >= boundary) continue;
+      for (data::RecordId y : block) {
+        if (y < boundary) continue;
+        if (seen.Insert(x, y)) out.Add({x, y});
+      }
+    }
+  }
+  return out;
+}
+
+uint64_t CountCrossTrueMatches(const LinkageDataset& linkage) {
+  // Count per-entity record multiplicities on each side.
+  std::unordered_map<data::EntityId, std::pair<uint64_t, uint64_t>> counts;
+  for (data::RecordId id = 0; id < linkage.merged.size(); ++id) {
+    data::EntityId e = linkage.merged.entity(id);
+    if (e == data::kUnknownEntity) continue;
+    if (linkage.FromA(id)) {
+      ++counts[e].first;
+    } else {
+      ++counts[e].second;
+    }
+  }
+  uint64_t pairs = 0;
+  for (const auto& [e, ab] : counts) {
+    pairs += ab.first * ab.second;
+  }
+  return pairs;
+}
+
+uint64_t TotalCrossPairs(const LinkageDataset& linkage) {
+  uint64_t a = linkage.boundary;
+  uint64_t b = linkage.merged.size() - a;
+  return a * b;
+}
+
+}  // namespace sablock::core

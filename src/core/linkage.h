@@ -1,0 +1,46 @@
+#ifndef SABLOCK_CORE_LINKAGE_H_
+#define SABLOCK_CORE_LINKAGE_H_
+
+#include "core/blocking.h"
+#include "data/record.h"
+
+namespace sablock::core {
+
+/// Record linkage support: blocking across *two* datasets A and B, where
+/// only cross-source pairs (a ∈ A, b ∈ B) are candidate matches (the
+/// classic two-database setting of Fellegi & Sunter, as opposed to the
+/// deduplication setting the paper evaluates).
+///
+/// The model: both datasets are merged into one (B's records get ids
+/// offset by |A|), any BlockingTechnique runs on the merged dataset, and
+/// the block collection is restricted to cross-source pairs afterwards.
+
+/// A merged two-source dataset; records with id < boundary come from A.
+struct LinkageDataset {
+  data::Dataset merged;
+  data::RecordId boundary = 0;
+
+  bool FromA(data::RecordId id) const { return id < boundary; }
+};
+
+/// Merges two datasets with identical schemas. Ground-truth entity ids
+/// must already live in a shared label space (records of A and B that
+/// represent the same entity carry equal ids). Aborts on schema mismatch.
+LinkageDataset MergeForLinkage(const data::Dataset& a,
+                               const data::Dataset& b);
+
+/// Restricts a block collection to cross-source comparisons: each block is
+/// reduced to its A-side × B-side bipartite pairs (emitted as 2-record
+/// blocks); blocks entirely on one side disappear.
+BlockCollection CrossSourceBlocks(const BlockCollection& blocks,
+                                  data::RecordId boundary);
+
+/// Number of cross-source ground-truth match pairs |Ω_tp| for linkage.
+uint64_t CountCrossTrueMatches(const LinkageDataset& linkage);
+
+/// Total cross-source pair count |Ω| = |A| · |B|.
+uint64_t TotalCrossPairs(const LinkageDataset& linkage);
+
+}  // namespace sablock::core
+
+#endif  // SABLOCK_CORE_LINKAGE_H_

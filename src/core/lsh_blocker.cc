@@ -1,0 +1,145 @@
+#include "core/lsh_blocker.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hashing.h"
+#include "common/random.h"
+
+namespace sablock::core {
+
+namespace {
+
+// Bucket key of table `table` for rows [table*k, table*k + k) of `sig`.
+uint64_t BandKey(const std::vector<uint64_t>& sig, int table, int k) {
+  uint64_t key = Mix64(0x5ab10c0 + static_cast<uint64_t>(table));
+  for (int r = 0; r < k; ++r) {
+    key = HashCombine(key, sig[static_cast<size_t>(table) * k + r]);
+  }
+  return key;
+}
+
+bool IsEmptySignature(const std::vector<uint64_t>& sig) {
+  return sig.empty() || sig[0] == MinHasher::kEmptySlot;
+}
+
+void EmitBlocks(std::unordered_map<uint64_t, Block>&& buckets,
+                BlockCollection* out) {
+  for (auto& [key, block] : buckets) {
+    if (block.size() >= 2) out->Add(std::move(block));
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<uint64_t>> ComputeMinhashSignatures(
+    const data::Dataset& dataset, const LshParams& params) {
+  SABLOCK_CHECK(params.k > 0 && params.l > 0);
+  Shingler shingler(params.attributes, params.q);
+  MinHasher hasher(params.k * params.l, params.seed);
+  std::vector<std::vector<uint64_t>> sigs;
+  sigs.reserve(dataset.size());
+  for (data::RecordId id = 0; id < dataset.size(); ++id) {
+    sigs.push_back(hasher.Signature(shingler.Shingles(dataset, id)));
+  }
+  return sigs;
+}
+
+LshBlocker::LshBlocker(LshParams params) : params_(std::move(params)) {}
+
+std::string LshBlocker::name() const {
+  return "LSH(k=" + std::to_string(params_.k) +
+         ",l=" + std::to_string(params_.l) + ")";
+}
+
+BlockCollection LshBlocker::Run(const data::Dataset& dataset) const {
+  std::vector<std::vector<uint64_t>> sigs =
+      ComputeMinhashSignatures(dataset, params_);
+  BlockCollection out;
+  for (int t = 0; t < params_.l; ++t) {
+    std::unordered_map<uint64_t, Block> buckets;
+    buckets.reserve(dataset.size());
+    for (data::RecordId id = 0; id < dataset.size(); ++id) {
+      if (IsEmptySignature(sigs[id])) continue;
+      buckets[BandKey(sigs[id], t, params_.k)].push_back(id);
+    }
+    EmitBlocks(std::move(buckets), &out);
+  }
+  return out;
+}
+
+SemanticAwareLshBlocker::SemanticAwareLshBlocker(
+    LshParams lsh_params, SemanticParams sem_params,
+    std::shared_ptr<const SemanticFunction> semantics)
+    : lsh_params_(std::move(lsh_params)),
+      sem_params_(sem_params),
+      semantics_(std::move(semantics)) {
+  SABLOCK_CHECK(semantics_ != nullptr);
+  SABLOCK_CHECK(sem_params_.w >= 1);
+}
+
+std::string SemanticAwareLshBlocker::name() const {
+  return "SA-LSH(k=" + std::to_string(lsh_params_.k) +
+         ",l=" + std::to_string(lsh_params_.l) +
+         ",w=" + std::to_string(sem_params_.w) +
+         (sem_params_.mode == SemanticMode::kAnd ? ",AND)" : ",OR)");
+}
+
+BlockCollection SemanticAwareLshBlocker::Run(
+    const data::Dataset& dataset) const {
+  std::vector<std::vector<uint64_t>> sigs =
+      ComputeMinhashSignatures(dataset, lsh_params_);
+
+  const Taxonomy& taxonomy = semantics_->taxonomy();
+  std::vector<std::vector<ConceptId>> zetas =
+      semantics_->InterpretAll(dataset);
+  SemhashEncoder encoder = SemhashEncoder::Build(taxonomy, zetas);
+  std::vector<SemSignature> sem_sigs = encoder.EncodeAll(taxonomy, zetas);
+
+  const uint32_t dim = encoder.dimension();
+  // Degenerate case: no record has any semantic feature. The semantic
+  // filter cannot distinguish records; fall back to textual blocking only.
+  if (dim == 0) {
+    return LshBlocker(lsh_params_).Run(dataset);
+  }
+  const int w =
+      std::min(sem_params_.w, static_cast<int>(dim));  // clamp to |G|
+
+  BlockCollection out;
+  for (int t = 0; t < lsh_params_.l; ++t) {
+    // Draw this table's w-way semantic hash function: w distinct semhash
+    // functions chosen uniformly at random (Section 5.2).
+    Rng rng(Mix64(sem_params_.seed) ^ Mix64(0x7ab1e + t));
+    std::vector<size_t> chosen =
+        rng.SampleIndices(dim, static_cast<size_t>(w));
+
+    std::unordered_map<uint64_t, Block> buckets;
+    buckets.reserve(dataset.size());
+    for (data::RecordId id = 0; id < dataset.size(); ++id) {
+      if (IsEmptySignature(sigs[id])) continue;
+      uint64_t band = BandKey(sigs[id], t, lsh_params_.k);
+      const SemSignature& sem = sem_sigs[id];
+      if (sem_params_.mode == SemanticMode::kAnd) {
+        bool all_set = true;
+        for (size_t f : chosen) {
+          if (!sem.Get(static_cast<uint32_t>(f))) {
+            all_set = false;
+            break;
+          }
+        }
+        if (all_set) buckets[band].push_back(id);
+      } else {
+        for (size_t f : chosen) {
+          if (sem.Get(static_cast<uint32_t>(f))) {
+            buckets[HashCombine(band, 0xfeed0000 + f)].push_back(id);
+          }
+        }
+      }
+    }
+    EmitBlocks(std::move(buckets), &out);
+  }
+  return out;
+}
+
+}  // namespace sablock::core

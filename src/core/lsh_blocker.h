@@ -1,0 +1,91 @@
+#ifndef SABLOCK_CORE_LSH_BLOCKER_H_
+#define SABLOCK_CORE_LSH_BLOCKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/blocking.h"
+#include "core/minhash.h"
+#include "core/semantic.h"
+#include "core/semhash.h"
+
+namespace sablock::core {
+
+/// Parameters of the textual (minhash) part of the LSH blocking family:
+/// l hash tables of k minhash functions each (Section 5.1, "amplifying").
+struct LshParams {
+  int k = 4;                            ///< minhash functions per table
+  int l = 63;                           ///< number of hash tables
+  int q = 3;                            ///< q-gram size for shingling
+  std::vector<std::string> attributes;  ///< attributes used for shingling
+  uint64_t seed = 7;                    ///< hash-family seed
+};
+
+/// How a w-way semantic hash function combines its w semhash draws
+/// (Section 5.2): AND requires all chosen features shared, OR at least one.
+enum class SemanticMode { kAnd, kOr };
+
+/// Parameters of the w-way semantic hash function augmenting each table.
+struct SemanticParams {
+  int w = 1;
+  SemanticMode mode = SemanticMode::kOr;
+  uint64_t seed = 11;
+};
+
+/// Plain LSH blocking over textual similarity only (the paper's "LSH"
+/// competitor): records whose k minhash values agree in at least one of the
+/// l tables share a block. Records with no shingles (all-empty attributes)
+/// are excluded from all tables.
+class LshBlocker : public BlockingTechnique {
+ public:
+  explicit LshBlocker(LshParams params);
+
+  std::string name() const override;
+  BlockCollection Run(const data::Dataset& dataset) const override;
+
+  const LshParams& params() const { return params_; }
+
+ private:
+  LshParams params_;
+};
+
+/// Semantic-aware LSH blocking (the paper's contribution, "SA-LSH"):
+/// each of the l minhash tables is augmented with a w-way semantic hash
+/// function built from w randomly chosen semhash functions (chosen per
+/// table, without replacement).
+///
+///  - AND mode: a record enters table t only if all w chosen semhash bits
+///    are set — two records collide iff the pairwise w-way AND is true.
+///  - OR mode: a record enters one sub-bucket per set bit among the w
+///    chosen features — two records collide iff they share at least one
+///    chosen set bit, exactly the pairwise w-way OR.
+///
+/// Records that are semantically dissimilar (no shared semantic feature)
+/// can never be placed in the same block regardless of textual similarity
+/// (Proposition 5.3) when w covers the full signature.
+class SemanticAwareLshBlocker : public BlockingTechnique {
+ public:
+  SemanticAwareLshBlocker(LshParams lsh_params, SemanticParams sem_params,
+                          std::shared_ptr<const SemanticFunction> semantics);
+
+  std::string name() const override;
+  BlockCollection Run(const data::Dataset& dataset) const override;
+
+  const LshParams& lsh_params() const { return lsh_params_; }
+  const SemanticParams& semantic_params() const { return sem_params_; }
+
+ private:
+  LshParams lsh_params_;
+  SemanticParams sem_params_;
+  std::shared_ptr<const SemanticFunction> semantics_;
+};
+
+/// Computes minhash signatures for a whole dataset with the given params;
+/// shared by the blockers and exposed for tests and ablation benches.
+std::vector<std::vector<uint64_t>> ComputeMinhashSignatures(
+    const data::Dataset& dataset, const LshParams& params);
+
+}  // namespace sablock::core
+
+#endif  // SABLOCK_CORE_LSH_BLOCKER_H_

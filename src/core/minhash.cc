@@ -1,0 +1,54 @@
+#include "core/minhash.h"
+
+#include "common/check.h"
+#include "text/qgram.h"
+
+namespace sablock::core {
+
+MinHasher::MinHasher(int num_hashes, uint64_t seed) {
+  SABLOCK_CHECK(num_hashes > 0);
+  hashes_.reserve(static_cast<size_t>(num_hashes));
+  for (int i = 0; i < num_hashes; ++i) {
+    hashes_.push_back(UniversalHash::FromSeed(seed, static_cast<uint64_t>(i)));
+  }
+}
+
+std::vector<uint64_t> MinHasher::Signature(
+    const std::vector<uint64_t>& shingles) const {
+  std::vector<uint64_t> sig(hashes_.size(), kEmptySlot);
+  for (uint64_t shingle : shingles) {
+    for (size_t i = 0; i < hashes_.size(); ++i) {
+      uint64_t h = hashes_[i](shingle);
+      if (h < sig[i]) sig[i] = h;
+    }
+  }
+  return sig;
+}
+
+double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
+                                  const std::vector<uint64_t>& b) {
+  SABLOCK_CHECK(a.size() == b.size() && !a.empty());
+  size_t agree = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+std::vector<uint64_t> Shingler::Shingles(const data::Dataset& dataset,
+                                         data::RecordId id) const {
+  std::string text = dataset.ConcatenatedValues(id, attributes_);
+  return text::QGramHashes(text, q_);
+}
+
+std::vector<std::vector<uint64_t>> Shingler::ShingleAll(
+    const data::Dataset& dataset) const {
+  std::vector<std::vector<uint64_t>> out;
+  out.reserve(dataset.size());
+  for (data::RecordId id = 0; id < dataset.size(); ++id) {
+    out.push_back(Shingles(dataset, id));
+  }
+  return out;
+}
+
+}  // namespace sablock::core

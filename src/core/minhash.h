@@ -1,0 +1,68 @@
+#ifndef SABLOCK_CORE_MINHASH_H_
+#define SABLOCK_CORE_MINHASH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hashing.h"
+#include "data/record.h"
+
+namespace sablock::core {
+
+/// Minhash signature generator (Section 5.1, step 2). Permutations are
+/// simulated with a 2-universal hash family over 64-bit shingle hashes; the
+/// i-th signature element of a shingle set S is min_{x ∈ S} h_i(x).
+///
+/// For two records, P[sig_i equal] ≈ Jaccard(S1, S2), so signatures
+/// approximately preserve textual similarity.
+class MinHasher {
+ public:
+  /// `num_hashes` is typically k·l for a banded LSH index.
+  MinHasher(int num_hashes, uint64_t seed);
+
+  int num_hashes() const { return static_cast<int>(hashes_.size()); }
+
+  /// Sentinel signature value of an empty shingle set (all hash functions
+  /// return this maximum); empty records are excluded from LSH tables.
+  static constexpr uint64_t kEmptySlot = UniversalHash::kPrime;
+
+  /// Computes the minhash signature of a shingle set.
+  std::vector<uint64_t> Signature(const std::vector<uint64_t>& shingles) const;
+
+  /// Fraction of agreeing positions — an unbiased estimate of the Jaccard
+  /// similarity of the underlying shingle sets.
+  static double EstimateJaccard(const std::vector<uint64_t>& a,
+                                const std::vector<uint64_t>& b);
+
+ private:
+  std::vector<UniversalHash> hashes_;
+};
+
+/// Converts records to textual shingle sets (Section 5.1, step 1):
+/// the values of the selected attributes are concatenated, normalized
+/// (lower-case, alphanumeric) and cut into distinct hashed q-grams.
+class Shingler {
+ public:
+  Shingler(std::vector<std::string> attributes, int q)
+      : attributes_(std::move(attributes)), q_(q) {}
+
+  /// Sorted distinct 64-bit shingle hashes of one record.
+  std::vector<uint64_t> Shingles(const data::Dataset& dataset,
+                                 data::RecordId id) const;
+
+  /// Shingles every record.
+  std::vector<std::vector<uint64_t>> ShingleAll(
+      const data::Dataset& dataset) const;
+
+  int q() const { return q_; }
+  const std::vector<std::string>& attributes() const { return attributes_; }
+
+ private:
+  std::vector<std::string> attributes_;
+  int q_;
+};
+
+}  // namespace sablock::core
+
+#endif  // SABLOCK_CORE_MINHASH_H_

@@ -1,0 +1,228 @@
+#include "core/taxonomy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sablock::core {
+
+ConceptId Taxonomy::AddConcept(std::string name, ConceptId parent) {
+  SABLOCK_CHECK_MSG(!finalized_, "cannot add concepts after Finalize()");
+  SABLOCK_CHECK_MSG(by_name_.find(name) == by_name_.end(),
+                    "duplicate concept name");
+  ConceptId id = static_cast<ConceptId>(names_.size());
+  by_name_.emplace(name, id);
+  names_.push_back(std::move(name));
+  parents_.push_back(parent);
+  children_.emplace_back();
+  if (parent == kInvalidConcept) {
+    roots_.push_back(id);
+  } else {
+    SABLOCK_CHECK_MSG(parent < id, "parent must be added before child");
+    children_[parent].push_back(id);
+  }
+  return id;
+}
+
+void Taxonomy::Finalize() {
+  SABLOCK_CHECK_MSG(!names_.empty(), "taxonomy is empty");
+  node_begin_.assign(names_.size(), 0);
+  node_end_.assign(names_.size(), 0);
+  leaf_begin_.assign(names_.size(), 0);
+  leaf_end_.assign(names_.size(), 0);
+  leaf_concepts_.clear();
+
+  uint32_t clock = 0;
+  uint32_t leaf_clock = 0;
+  // Iterative DFS; (node, child index) stack.
+  std::vector<std::pair<ConceptId, size_t>> stack;
+  for (ConceptId root : roots_) {
+    stack.emplace_back(root, 0);
+    node_begin_[root] = clock++;
+    leaf_begin_[root] = leaf_clock;
+    while (!stack.empty()) {
+      auto& [node, next_child] = stack.back();
+      if (next_child < children_[node].size()) {
+        ConceptId child = children_[node][next_child++];
+        node_begin_[child] = clock++;
+        leaf_begin_[child] = leaf_clock;
+        stack.emplace_back(child, 0);
+      } else {
+        if (children_[node].empty()) {
+          leaf_concepts_.push_back(node);
+          ++leaf_clock;
+        }
+        node_end_[node] = clock++;
+        leaf_end_[node] = leaf_clock;
+        stack.pop_back();
+      }
+    }
+  }
+  total_leaves_ = leaf_clock;
+  finalized_ = true;
+}
+
+ConceptId Taxonomy::Find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? kInvalidConcept : it->second;
+}
+
+ConceptId Taxonomy::Require(std::string_view name) const {
+  ConceptId id = Find(name);
+  SABLOCK_CHECK_MSG(id != kInvalidConcept, "unknown concept name");
+  return id;
+}
+
+void Taxonomy::CheckFinalized() const {
+  SABLOCK_CHECK_MSG(finalized_, "Taxonomy::Finalize() has not been called");
+}
+
+bool Taxonomy::Subsumes(ConceptId ancestor, ConceptId descendant) const {
+  CheckFinalized();
+  return node_begin_[ancestor] <= node_begin_[descendant] &&
+         node_end_[descendant] <= node_end_[ancestor];
+}
+
+uint32_t Taxonomy::LeafIntersection(ConceptId c1, ConceptId c2) const {
+  CheckFinalized();
+  uint32_t lo = std::max(leaf_begin_[c1], leaf_begin_[c2]);
+  uint32_t hi = std::min(leaf_end_[c1], leaf_end_[c2]);
+  return hi > lo ? hi - lo : 0;
+}
+
+double Taxonomy::ConceptSimilarity(ConceptId c1, ConceptId c2) const {
+  uint32_t inter = LeafIntersection(c1, c2);
+  uint32_t uni = LeafCount(c1) + LeafCount(c2) - inter;
+  if (uni == 0) return 0.0;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+uint32_t Taxonomy::CoveredLeafCount(
+    const std::vector<ConceptId>& concepts) const {
+  CheckFinalized();
+  if (concepts.empty()) return 0;
+  std::vector<std::pair<uint32_t, uint32_t>> intervals;
+  intervals.reserve(concepts.size());
+  for (ConceptId c : concepts) {
+    intervals.emplace_back(leaf_begin_[c], leaf_end_[c]);
+  }
+  std::sort(intervals.begin(), intervals.end());
+  uint32_t covered = 0;
+  uint32_t current_end = 0;
+  bool first = true;
+  for (const auto& [b, e] : intervals) {
+    if (b >= e) continue;  // degenerate: concept with no leaves
+    if (first || b >= current_end) {
+      covered += e - b;
+      current_end = e;
+      first = false;
+    } else if (e > current_end) {
+      covered += e - current_end;
+      current_end = e;
+    }
+  }
+  return covered;
+}
+
+double Taxonomy::RecordSimilarity(const std::vector<ConceptId>& zeta1,
+                                  const std::vector<ConceptId>& zeta2) const {
+  CheckFinalized();
+  if (zeta1.empty() || zeta2.empty()) return 0.0;
+  // Eq. 5 reduces to sum(|leaf(c1) ∩ leaf(c2)|) / |β|:
+  // each related pair contributes weight·sim = (|α|/|β|)·(|∩|/|α|) = |∩|/|β|,
+  // and unrelated pairs have |∩| = 0 (disjoint subtrees), so summing over
+  // all of ζ(r1)×ζ(r2) equals summing over the related set P.
+  uint64_t intersection_sum = 0;
+  for (ConceptId c1 : zeta1) {
+    for (ConceptId c2 : zeta2) {
+      intersection_sum += LeafIntersection(c1, c2);
+    }
+  }
+  std::vector<ConceptId> all = zeta1;
+  all.insert(all.end(), zeta2.begin(), zeta2.end());
+  uint32_t beta = CoveredLeafCount(all);
+  if (beta == 0) return 0.0;
+  return static_cast<double>(intersection_sum) / static_cast<double>(beta);
+}
+
+void Taxonomy::PruneToMostSpecific(std::vector<ConceptId>* concepts) const {
+  CheckFinalized();
+  std::sort(concepts->begin(), concepts->end());
+  concepts->erase(std::unique(concepts->begin(), concepts->end()),
+                  concepts->end());
+  std::vector<ConceptId> kept;
+  kept.reserve(concepts->size());
+  for (ConceptId c : *concepts) {
+    bool has_descendant = false;
+    for (ConceptId other : *concepts) {
+      if (other != c && Subsumes(c, other)) {
+        has_descendant = true;
+        break;
+      }
+    }
+    if (!has_descendant) kept.push_back(c);
+  }
+  concepts->swap(kept);
+}
+
+Taxonomy MakeBibliographicTaxonomy() {
+  Taxonomy t;
+  ConceptId c0 = t.AddConcept("C0");           // Research Output
+  ConceptId c1 = t.AddConcept("C1", c0);       // Publication
+  ConceptId c2 = t.AddConcept("C2", c1);       // Peer Reviewed
+  t.AddConcept("C3", c2);                      // Journal
+  t.AddConcept("C4", c2);                      // Proceedings
+  t.AddConcept("C5", c2);                      // Book
+  ConceptId c6 = t.AddConcept("C6", c1);       // Non-Peer Reviewed
+  t.AddConcept("C7", c6);                      // Technical Report
+  t.AddConcept("C8", c6);                      // Thesis
+  t.AddConcept("C9", c0);                      // Patent
+  t.Finalize();
+  return t;
+}
+
+Taxonomy MakeBibliographicTaxonomyNoReviewLevel() {
+  Taxonomy t;
+  ConceptId c0 = t.AddConcept("C0");
+  ConceptId c1 = t.AddConcept("C1", c0);
+  t.AddConcept("C3", c1);
+  t.AddConcept("C4", c1);
+  t.AddConcept("C5", c1);
+  t.AddConcept("C7", c1);
+  t.AddConcept("C8", c1);
+  t.AddConcept("C9", c0);
+  t.Finalize();
+  return t;
+}
+
+Taxonomy MakeBibliographicTaxonomyNoBook() {
+  Taxonomy t;
+  ConceptId c0 = t.AddConcept("C0");
+  ConceptId c1 = t.AddConcept("C1", c0);
+  ConceptId c2 = t.AddConcept("C2", c1);
+  t.AddConcept("C3", c2);
+  t.AddConcept("C4", c2);
+  ConceptId c6 = t.AddConcept("C6", c1);
+  t.AddConcept("C7", c6);
+  t.AddConcept("C8", c6);
+  t.AddConcept("C9", c0);
+  t.Finalize();
+  return t;
+}
+
+Taxonomy MakeBibliographicTaxonomyNoJournal() {
+  Taxonomy t;
+  ConceptId c0 = t.AddConcept("C0");
+  ConceptId c1 = t.AddConcept("C1", c0);
+  ConceptId c2 = t.AddConcept("C2", c1);
+  t.AddConcept("C4", c2);
+  t.AddConcept("C5", c2);
+  ConceptId c6 = t.AddConcept("C6", c1);
+  t.AddConcept("C7", c6);
+  t.AddConcept("C8", c6);
+  t.AddConcept("C9", c0);
+  t.Finalize();
+  return t;
+}
+
+}  // namespace sablock::core

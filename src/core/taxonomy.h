@@ -1,0 +1,134 @@
+#ifndef SABLOCK_CORE_TAXONOMY_H_
+#define SABLOCK_CORE_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sablock::core {
+
+/// Identifier of a concept node inside a Taxonomy.
+using ConceptId = uint32_t;
+inline constexpr ConceptId kInvalidConcept = ~0u;
+
+/// A forest of taxonomy trees (Definition 4.1). Nodes are semantic concepts;
+/// edges are subsumption relations (child ⪯ parent). A forest is used rather
+/// than a single tree because the paper allows a set T of taxonomy trees;
+/// concepts from different trees are unrelated (their similarity is 0).
+///
+/// After Finalize(), the taxonomy supports O(1):
+///  - subsumption tests (Euler-tour node intervals),
+///  - leaf-set sizes and intersections (each node's leaf set is a contiguous
+///    interval of the global DFS leaf ordering),
+///  - concept similarity (Eq. 4):
+///      simS(c1, c2) = |leaf(c1) ∩ leaf(c2)| / |leaf(c1) ∪ leaf(c2)|.
+class Taxonomy {
+ public:
+  /// Adds a concept. `parent == kInvalidConcept` creates the root of a new
+  /// tree in the forest. Names must be unique across the forest.
+  ConceptId AddConcept(std::string name,
+                       ConceptId parent = kInvalidConcept);
+
+  /// Freezes the structure and precomputes DFS intervals. Must be called
+  /// before any query; aborts if the forest is empty.
+  void Finalize();
+
+  /// Looks up a concept by name; kInvalidConcept if absent.
+  ConceptId Find(std::string_view name) const;
+
+  /// Looks up a concept by name; aborts if absent.
+  ConceptId Require(std::string_view name) const;
+
+  size_t size() const { return names_.size(); }
+  bool finalized() const { return finalized_; }
+  const std::string& name(ConceptId c) const { return names_[c]; }
+  ConceptId parent(ConceptId c) const { return parents_[c]; }
+  const std::vector<ConceptId>& children(ConceptId c) const {
+    return children_[c];
+  }
+  const std::vector<ConceptId>& roots() const { return roots_; }
+  bool IsLeaf(ConceptId c) const { return children_[c].empty(); }
+
+  /// True iff `ancestor` subsumes `descendant` (reflexive: c ⪯ c).
+  bool Subsumes(ConceptId ancestor, ConceptId descendant) const;
+
+  /// Number of leaves in the subtree rooted at `c` (|leaf(c)| of Eq. 4).
+  uint32_t LeafCount(ConceptId c) const {
+    return leaf_end_[c] - leaf_begin_[c];
+  }
+
+  /// Total number of leaves in the forest.
+  uint32_t TotalLeaves() const { return total_leaves_; }
+
+  /// Global DFS leaf interval [begin, end) of `c`'s subtree.
+  uint32_t LeafBegin(ConceptId c) const { return leaf_begin_[c]; }
+  uint32_t LeafEnd(ConceptId c) const { return leaf_end_[c]; }
+
+  /// Concept id of the leaf with global leaf ordinal `ordinal`.
+  ConceptId LeafAt(uint32_t ordinal) const { return leaf_concepts_[ordinal]; }
+
+  /// |leaf(c1) ∩ leaf(c2)|. Nonzero only when one concept subsumes the
+  /// other (tree structure), in which case it is the smaller leaf count.
+  uint32_t LeafIntersection(ConceptId c1, ConceptId c2) const;
+
+  /// Semantic similarity of two concepts (Eq. 4).
+  double ConceptSimilarity(ConceptId c1, ConceptId c2) const;
+
+  /// Semantic similarity of two records given their interpretations
+  /// ζ(r1), ζ(r2) (Eq. 5). Empty interpretations yield 0.
+  double RecordSimilarity(const std::vector<ConceptId>& zeta1,
+                          const std::vector<ConceptId>& zeta2) const;
+
+  /// Removes concepts subsumed by another member of the set, keeping only
+  /// the most specific ones (the Specificity property of Definition 4.2).
+  /// Also deduplicates. The result is sorted by id.
+  void PruneToMostSpecific(std::vector<ConceptId>* concepts) const;
+
+  /// Number of distinct leaves covered by ⋃_{c ∈ concepts} leaf(c).
+  uint32_t CoveredLeafCount(const std::vector<ConceptId>& concepts) const;
+
+ private:
+  void CheckFinalized() const;
+
+  std::vector<std::string> names_;
+  std::vector<ConceptId> parents_;
+  std::vector<std::vector<ConceptId>> children_;
+  std::vector<ConceptId> roots_;
+  std::unordered_map<std::string, ConceptId> by_name_;
+
+  // Computed by Finalize().
+  bool finalized_ = false;
+  uint32_t total_leaves_ = 0;
+  std::vector<uint32_t> node_begin_;  // Euler-tour entry index
+  std::vector<uint32_t> node_end_;    // Euler-tour exit index
+  std::vector<uint32_t> leaf_begin_;  // leaf interval begin
+  std::vector<uint32_t> leaf_end_;    // leaf interval end
+  std::vector<ConceptId> leaf_concepts_;  // leaf ordinal -> concept id
+};
+
+/// Builds the bibliographic taxonomy tree t_bib of Fig. 3:
+///   ResearchOutput -> {Publication, Patent};
+///   Publication -> {PeerReviewed, NonPeerReviewed};
+///   PeerReviewed -> {Journal, Proceedings, Book};
+///   NonPeerReviewed -> {TechnicalReport, Thesis}.
+/// Concept names use the paper's labels ("C0".."C9" aliases are the
+/// canonical names used in tests): ResearchOutput=C0, Publication=C1,
+/// PeerReviewed=C2, Journal=C3, Proceedings=C4, Book=C5,
+/// NonPeerReviewed=C6, TechnicalReport=C7, Thesis=C8, Patent=C9.
+Taxonomy MakeBibliographicTaxonomy();
+
+/// Variant t_(bib,1) of Fig. 10(a): PeerReviewed / NonPeerReviewed removed;
+/// their children attach directly to Publication.
+Taxonomy MakeBibliographicTaxonomyNoReviewLevel();
+
+/// Variant t_(bib,2) of Fig. 10(b): Book (C5) missing.
+Taxonomy MakeBibliographicTaxonomyNoBook();
+
+/// Variant t_(bib,3) of Fig. 10(c): Journal (C3) missing.
+Taxonomy MakeBibliographicTaxonomyNoJournal();
+
+}  // namespace sablock::core
+
+#endif  // SABLOCK_CORE_TAXONOMY_H_

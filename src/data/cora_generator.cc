@@ -1,0 +1,284 @@
+#include "data/cora_generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "data/name_pools.h"
+
+namespace sablock::data {
+
+namespace {
+
+enum class PubType { kJournal, kProceedings, kBook, kTechReport, kThesis };
+
+struct Author {
+  std::string first;
+  std::string last;
+};
+
+// The hidden ground-truth entity behind a group of citation records.
+struct PublicationEntity {
+  PubType type;
+  std::vector<std::string> title_words;
+  std::vector<Author> authors;
+  std::string venue;  // journal / proceedings / publisher / institution name
+  int year;
+};
+
+PubType DrawType(sablock::Rng* rng) {
+  double u = rng->UniformReal();
+  if (u < 0.30) return PubType::kJournal;
+  if (u < 0.70) return PubType::kProceedings;
+  if (u < 0.75) return PubType::kBook;
+  if (u < 0.90) return PubType::kTechReport;
+  return PubType::kThesis;
+}
+
+PublicationEntity MakeEntity(sablock::Rng* rng) {
+  PublicationEntity e;
+  e.type = DrawType(rng);
+
+  // Title: filler + 3-6 skewed content words, e.g.
+  // "the cascade correlation learning architecture".
+  size_t content_words = 3 + rng->UniformIndex(4);
+  const auto& words = TitleWordPool();
+  const auto& fillers = TitleFillerPool();
+  if (rng->Bernoulli(0.6)) {
+    e.title_words.emplace_back(fillers[rng->UniformIndex(3)]);  // the/a/an
+  }
+  for (size_t i = 0; i < content_words; ++i) {
+    e.title_words.emplace_back(words[rng->SkewedIndex(words.size(), 1.2)]);
+    if (i + 1 < content_words && rng->Bernoulli(0.15)) {
+      e.title_words.emplace_back(
+          fillers[3 + rng->UniformIndex(fillers.size() - 3)]);
+    }
+  }
+
+  size_t num_authors = 1 + rng->UniformIndex(3);
+  for (size_t i = 0; i < num_authors; ++i) {
+    e.authors.push_back(Author{
+        std::string(rng->Pick(FirstNamePool())),
+        std::string(rng->Pick(LastNamePool())),
+    });
+  }
+
+  switch (e.type) {
+    case PubType::kJournal:
+      e.venue = std::string(rng->Pick(JournalPool()));
+      break;
+    case PubType::kProceedings:
+      e.venue = std::string(rng->Pick(ProceedingsPool()));
+      break;
+    case PubType::kBook:
+      e.venue = std::string(rng->Pick(BookPublisherPool()));
+      break;
+    case PubType::kTechReport:
+    case PubType::kThesis:
+      e.venue = std::string(rng->Pick(InstitutionPool()));
+      break;
+  }
+  e.year = 1985 + static_cast<int>(rng->UniformIndex(16));
+  return e;
+}
+
+std::string Capitalize(std::string_view w) {
+  std::string out(w);
+  if (!out.empty()) {
+    out[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(out[0])));
+  }
+  return out;
+}
+
+// Renders the title with per-record stylistic variation.
+std::string RenderTitle(const PublicationEntity& e,
+                        const CoraGeneratorConfig& config,
+                        const Corruptor& corruptor, sablock::Rng* rng) {
+  std::vector<std::string> words = e.title_words;
+  // Occasionally truncate a long word to a stem ("learning" -> "learn").
+  for (std::string& w : words) {
+    if (w.size() > 6 && rng->Bernoulli(config.word_truncate_prob)) {
+      w = w.substr(0, w.size() - 3);
+    }
+  }
+  std::string title = Join(words, " ");
+  // Hyphenate one adjacent pair ("cascade correlation" ->
+  // "cascade-correlation").
+  if (rng->Bernoulli(config.hyphenate_prob)) {
+    size_t space = title.find(' ', title.size() / 3);
+    if (space != std::string::npos) title[space] = '-';
+  }
+  if (rng->Bernoulli(0.5)) title = Capitalize(title);
+  return corruptor.CorruptString(title, rng);
+}
+
+// Renders the author list in one of the citation-style formats of Fig. 1.
+std::string RenderAuthors(const PublicationEntity& e,
+                          const Corruptor& corruptor, sablock::Rng* rng) {
+  std::vector<Author> authors = e.authors;
+  if (authors.size() > 1 && rng->Bernoulli(0.15)) {
+    std::swap(authors[0], authors[1]);  // author-order swap
+  }
+  int style = static_cast<int>(rng->UniformInt(0, 3));
+  std::vector<std::string> parts;
+  for (const Author& a : authors) {
+    std::string first_cap = Capitalize(a.first);
+    std::string last_cap = Capitalize(a.last);
+    switch (style) {
+      case 0:  // "E. Fahlman"
+        parts.push_back(AbbreviateWord(first_cap) + " " + last_cap);
+        break;
+      case 1:  // "Scott Fahlman"
+        parts.push_back(first_cap + " " + last_cap);
+        break;
+      case 2:  // "Fahlman, S."
+        parts.push_back(last_cap + ", " + AbbreviateWord(first_cap));
+        break;
+      default:  // "Fahlman S"
+        parts.push_back(last_cap + " " + first_cap.substr(0, 1));
+        break;
+    }
+  }
+  std::string sep = rng->Bernoulli(0.5) ? " and " : (rng->Bernoulli(0.5)
+                                                         ? " & "
+                                                         : ", ");
+  std::string joined;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) joined += (i + 1 == parts.size()) ? sep : std::string(", ");
+    joined += parts[i];
+  }
+  return corruptor.CorruptString(joined, rng);
+}
+
+// Venue value with abbreviation noise.
+std::string RenderVenue(const std::string& venue, const Corruptor& corruptor,
+                        sablock::Rng* rng) {
+  std::string v = venue;
+  if (rng->Bernoulli(0.25)) {
+    // Abbreviate long words: "Proceedings of ICML" -> "Proc. of ICML".
+    std::vector<std::string> words = SplitWords(v);
+    for (std::string& w : words) {
+      if (w.size() > 6 && rng->Bernoulli(0.5)) {
+        w = Capitalize(w.substr(0, 4)) + ".";
+      }
+    }
+    v = Join(words, " ");
+  }
+  return corruptor.CorruptString(v, rng);
+}
+
+}  // namespace
+
+Dataset GenerateCoraLike(const CoraGeneratorConfig& config) {
+  SABLOCK_CHECK(config.num_entities >= 1);
+  SABLOCK_CHECK(config.num_records >= config.num_entities);
+  sablock::Rng rng(config.seed);
+  Corruptor corruptor(config.corruption);
+
+  std::vector<PublicationEntity> entities;
+  entities.reserve(config.num_entities);
+  for (size_t i = 0; i < config.num_entities; ++i) {
+    entities.push_back(MakeEntity(&rng));
+  }
+
+  // Skewed cluster sizes: every entity gets one record, the remainder are
+  // assigned preferentially to low-index entities (Cora's citation counts
+  // are heavily skewed).
+  std::vector<size_t> cluster_sizes(config.num_entities, 1);
+  for (size_t r = config.num_entities; r < config.num_records; ++r) {
+    ++cluster_sizes[rng.SkewedIndex(config.num_entities, 1.3)];
+  }
+
+  Schema schema({"title", "authors", "journal", "booktitle", "institution",
+                 "publisher", "year"});
+  std::vector<std::pair<Record, EntityId>> staged;
+  staged.reserve(config.num_records);
+  const size_t title_i = 0;
+  const size_t authors_i = 1;
+  const size_t journal_i = 2;
+  const size_t booktitle_i = 3;
+  const size_t institution_i = 4;
+  const size_t publisher_i = 5;
+  const size_t year_i = 6;
+
+  for (size_t ei = 0; ei < entities.size(); ++ei) {
+    const PublicationEntity& e = entities[ei];
+    for (size_t c = 0; c < cluster_sizes[ei]; ++c) {
+      Record rec;
+      rec.values.assign(schema.size(), "");
+      rec.values[title_i] = RenderTitle(e, config, corruptor, &rng);
+      if (!rng.Bernoulli(config.authors_missing_prob)) {
+        rec.values[authors_i] = RenderAuthors(e, corruptor, &rng);
+      }
+      if (rng.Bernoulli(0.8)) {
+        rec.values[year_i] = std::to_string(e.year);
+      }
+
+      // Venue attribute placement determines the record's missing-value
+      // pattern (Table 1) and hence its semantic interpretation.
+      bool venue_missing = rng.Bernoulli(config.missing_venue_prob);
+      bool wrong_attr = !venue_missing && rng.Bernoulli(config.wrong_attr_prob);
+      std::string venue = RenderVenue(e.venue, corruptor, &rng);
+      if (!venue_missing) {
+        size_t target = publisher_i;
+        switch (e.type) {
+          case PubType::kJournal:
+            target = wrong_attr ? booktitle_i : journal_i;
+            break;
+          case PubType::kProceedings:
+            target = wrong_attr ? journal_i : booktitle_i;
+            break;
+          case PubType::kBook:
+            // Books live in `publisher`, which Table 1 does not test: their
+            // records fall into pattern 8 (ambiguous) unless noise adds a
+            // tested attribute — matching the paper's observation that some
+            // Cora records comply with no pattern.
+            target = publisher_i;
+            break;
+          case PubType::kTechReport:
+          case PubType::kThesis:
+            target = wrong_attr ? booktitle_i : institution_i;
+            break;
+        }
+        rec.values[target] = venue;
+        // Technical reports often also carry a "TR" publisher tag (cf. r4,
+        // r5 in Fig. 1).
+        if (e.type == PubType::kTechReport && rng.Bernoulli(0.5)) {
+          rec.values[publisher_i] =
+              rng.Bernoulli(0.5) ? "Technical Report (TR)" : "TR";
+        }
+        if (e.type == PubType::kThesis && rng.Bernoulli(0.5)) {
+          rec.values[publisher_i] = "PhD Thesis";
+        }
+      }
+      // Noise: an attribute the type should not have.
+      if (rng.Bernoulli(config.extra_attr_prob)) {
+        size_t extra = rng.Bernoulli(0.5) ? institution_i : booktitle_i;
+        if (rec.values[extra].empty()) {
+          rec.values[extra] = std::string(rng.Pick(
+              extra == institution_i
+                  ? InstitutionPool()
+                  : ProceedingsPool()));
+        }
+      }
+
+      staged.emplace_back(std::move(rec), static_cast<EntityId>(ei));
+    }
+  }
+
+  // Shuffle so that duplicates are scattered (real citation data is not
+  // clustered by entity, and Prefix() subsets stay representative).
+  rng.Shuffle(&staged);
+  Dataset dataset{std::move(schema)};
+  for (auto& [rec, entity] : staged) {
+    dataset.Add(std::move(rec), entity);
+  }
+  return dataset;
+}
+
+}  // namespace sablock::data

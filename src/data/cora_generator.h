@@ -1,0 +1,59 @@
+#ifndef SABLOCK_DATA_CORA_GENERATOR_H_
+#define SABLOCK_DATA_CORA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/corruptor.h"
+#include "data/record.h"
+
+namespace sablock::data {
+
+/// Configuration of the Cora-like bibliographic dataset generator (the
+/// substitution for the real Cora data set; DESIGN.md §2).
+///
+/// Entities are publications with a hidden semantic type (journal article,
+/// conference paper, book, technical report, thesis); each entity spawns a
+/// skewed number of citation records. Records carry the error classes that
+/// drive the paper's Cora experiments:
+///   - textual dirt: typos, author-format variation, word swaps,
+///     abbreviations ("learning" -> "learn", hyphenation);
+///   - *missing-value patterns* over journal/booktitle/institution that the
+///     Table 1 semantic function interprets (with configurable noise so
+///     some records carry wrong or overly general semantics — the source
+///     of the PC gap of Fig. 9a).
+struct CoraGeneratorConfig {
+  size_t num_entities = 190;
+  size_t num_records = 1879;
+  uint64_t seed = 42;
+
+  /// P(record loses its type-defining venue attribute) — produces
+  /// ambiguous pattern-8 records (concept C1).
+  double missing_venue_prob = 0.12;
+  /// P(record gains an attribute its type should not have) — produces
+  /// overly broad patterns (e.g. pattern 1/3/5).
+  double extra_attr_prob = 0.05;
+  /// P(the venue value lands in the wrong attribute) — produces records
+  /// with *wrong* semantics (e.g. a journal article that looks like a
+  /// proceedings paper), the noisy-semantics case of Section 6.3.2.
+  double wrong_attr_prob = 0.03;
+  /// P(authors are missing entirely), as for r3/r5 in Fig. 1.
+  double authors_missing_prob = 0.08;
+  /// P(a content word of the title is truncated to a stem).
+  double word_truncate_prob = 0.06;
+  /// P(two adjacent title words get hyphenated in a duplicate).
+  double hyphenate_prob = 0.15;
+
+  CorruptorConfig corruption = {/*char_edit_prob=*/0.35,
+                                /*max_char_edits=*/2,
+                                /*word_swap_prob=*/0.05,
+                                /*word_delete_prob=*/0.04,
+                                /*ocr_prob=*/0.15};
+};
+
+/// Generates a Cora-like dataset with ground-truth entity ids.
+/// Schema: title, authors, journal, booktitle, institution, publisher, year.
+Dataset GenerateCoraLike(const CoraGeneratorConfig& config);
+
+}  // namespace sablock::data
+
+#endif  // SABLOCK_DATA_CORA_GENERATOR_H_

@@ -1,0 +1,153 @@
+#include "data/corruptor.h"
+
+#include <array>
+#include <cstddef>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace sablock::data {
+
+namespace {
+
+// QWERTY adjacency for lower-case letters and digits.
+std::string_view Neighbours(char c) {
+  switch (std::tolower(static_cast<unsigned char>(c))) {
+    case 'a': return "qwsz";
+    case 'b': return "vghn";
+    case 'c': return "xdfv";
+    case 'd': return "serfcx";
+    case 'e': return "wsdr";
+    case 'f': return "drtgvc";
+    case 'g': return "ftyhbv";
+    case 'h': return "gyujnb";
+    case 'i': return "ujko";
+    case 'j': return "huikmn";
+    case 'k': return "jiolm";
+    case 'l': return "kop";
+    case 'm': return "njk";
+    case 'n': return "bhjm";
+    case 'o': return "iklp";
+    case 'p': return "ol";
+    case 'q': return "wa";
+    case 'r': return "edft";
+    case 's': return "awedxz";
+    case 't': return "rfgy";
+    case 'u': return "yhji";
+    case 'v': return "cfgb";
+    case 'w': return "qase";
+    case 'x': return "zsdc";
+    case 'y': return "tghu";
+    case 'z': return "asx";
+    case '0': return "9o";
+    case '1': return "2l";
+    case '2': return "13";
+    case '3': return "24";
+    case '4': return "35";
+    case '5': return "46";
+    case '6': return "57";
+    case '7': return "68";
+    case '8': return "79";
+    case '9': return "80";
+    default: return "";
+  }
+}
+
+}  // namespace
+
+char Corruptor::KeyboardNeighbour(char c, sablock::Rng* rng) {
+  std::string_view n = Neighbours(c);
+  if (n.empty()) return c;
+  char repl = n[rng->UniformIndex(n.size())];
+  if (std::isupper(static_cast<unsigned char>(c))) {
+    repl = static_cast<char>(std::toupper(static_cast<unsigned char>(repl)));
+  }
+  return repl;
+}
+
+std::string Corruptor::OcrConfusion(char c, sablock::Rng* rng) {
+  switch (std::tolower(static_cast<unsigned char>(c))) {
+    case 'o': return "0";
+    case '0': return "o";
+    case 'l': return rng->Bernoulli(0.5) ? "1" : "i";
+    case '1': return "l";
+    case 'i': return rng->Bernoulli(0.5) ? "1" : "l";
+    case 'm': return "rn";
+    case 'w': return "vv";
+    case 'b': return "8";
+    case '8': return "b";
+    case 's': return "5";
+    case '5': return "s";
+    case 'g': return "9";
+    case 'e': return "c";
+    case 'u': return "v";
+    case 'v': return "u";
+    default: return std::string(1, c);
+  }
+}
+
+std::string Corruptor::ApplyOneCharEdit(std::string_view input,
+                                        double ocr_prob, sablock::Rng* rng) {
+  std::string s(input);
+  if (s.empty()) return s;
+  int op = static_cast<int>(rng->UniformInt(0, 3));
+  size_t pos = rng->UniformIndex(s.size());
+  switch (op) {
+    case 0: {  // substitute
+      if (rng->Bernoulli(ocr_prob)) {
+        std::string repl = OcrConfusion(s[pos], rng);
+        s = s.substr(0, pos) + repl + s.substr(pos + 1);
+      } else {
+        s[pos] = KeyboardNeighbour(s[pos], rng);
+      }
+      break;
+    }
+    case 1: {  // insert a keyboard neighbour of the char at pos
+      char ins = KeyboardNeighbour(s[pos], rng);
+      s.insert(s.begin() + static_cast<ptrdiff_t>(pos), ins);
+      break;
+    }
+    case 2: {  // delete
+      if (s.size() > 1) s.erase(pos, 1);
+      break;
+    }
+    default: {  // transpose with next char
+      if (pos + 1 < s.size()) std::swap(s[pos], s[pos + 1]);
+      break;
+    }
+  }
+  return s;
+}
+
+std::string Corruptor::CorruptString(std::string_view input,
+                                     sablock::Rng* rng) const {
+  std::string s(input);
+  if (s.empty()) return s;
+
+  // Word-level noise first so that character edits may hit the new layout.
+  if (config_.word_swap_prob > 0 || config_.word_delete_prob > 0) {
+    std::vector<std::string> words = SplitWords(s);
+    if (words.size() > 1 && rng->Bernoulli(config_.word_swap_prob)) {
+      size_t i = rng->UniformIndex(words.size() - 1);
+      std::swap(words[i], words[i + 1]);
+    }
+    if (words.size() > 1 && rng->Bernoulli(config_.word_delete_prob)) {
+      words.erase(words.begin() +
+                  static_cast<ptrdiff_t>(rng->UniformIndex(words.size())));
+    }
+    s = Join(words, " ");
+  }
+
+  for (int e = 0; e < config_.max_char_edits; ++e) {
+    if (!rng->Bernoulli(config_.char_edit_prob)) break;
+    s = ApplyOneCharEdit(s, config_.ocr_prob, rng);
+  }
+  return s;
+}
+
+std::string AbbreviateWord(std::string_view word) {
+  if (word.empty()) return std::string(word);
+  return std::string(1, word[0]) + ".";
+}
+
+}  // namespace sablock::data

@@ -1,0 +1,63 @@
+#ifndef SABLOCK_DATA_CORRUPTOR_H_
+#define SABLOCK_DATA_CORRUPTOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/random.h"
+
+namespace sablock::data {
+
+/// Configuration of the record corruption model used by the synthetic data
+/// generators to emulate the dirtiness of real-world data sets (typos, OCR
+/// errors, word-order swaps — the error classes catalogued by Christen's
+/// data-matching book, which the paper's data sets exhibit).
+struct CorruptorConfig {
+  /// Probability that a character-level edit is applied per invocation of
+  /// CorruptString (multiple edits possible via repeated draws).
+  double char_edit_prob = 0.3;
+  /// Maximum number of character edits applied to one string.
+  int max_char_edits = 2;
+  /// Probability of swapping two adjacent words (token transposition).
+  double word_swap_prob = 0.1;
+  /// Probability of deleting a word.
+  double word_delete_prob = 0.05;
+  /// Probability of replacing a character with an OCR confusion instead of
+  /// a keyboard neighbour when a substitution is drawn.
+  double ocr_prob = 0.2;
+};
+
+/// Applies randomized, seeded string corruption. All operations preserve
+/// determinism through the supplied Rng.
+class Corruptor {
+ public:
+  explicit Corruptor(CorruptorConfig config) : config_(config) {}
+
+  /// Applies character-level edits (insert / delete / substitute /
+  /// transpose) and word-level noise according to the config.
+  std::string CorruptString(std::string_view input, sablock::Rng* rng) const;
+
+  /// Applies exactly one character edit; exposed for tests and for
+  /// generators that need a guaranteed perturbation.
+  static std::string ApplyOneCharEdit(std::string_view input, double ocr_prob,
+                                      sablock::Rng* rng);
+
+  /// Replaces a character with a keyboard-adjacent one (QWERTY layout).
+  static char KeyboardNeighbour(char c, sablock::Rng* rng);
+
+  /// Replaces a character with a visually confusable one (OCR model),
+  /// e.g. 'o' <-> '0', 'l' <-> '1', 'm' <-> "rn".
+  static std::string OcrConfusion(char c, sablock::Rng* rng);
+
+  const CorruptorConfig& config() const { return config_; }
+
+ private:
+  CorruptorConfig config_;
+};
+
+/// Abbreviates a word to its first letter plus '.' ("proceedings" -> "p.").
+std::string AbbreviateWord(std::string_view word);
+
+}  // namespace sablock::data
+
+#endif  // SABLOCK_DATA_CORRUPTOR_H_

@@ -1,0 +1,147 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace sablock::data {
+
+std::vector<std::string> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else {
+      if (c == '"' && current.empty()) {
+        in_quotes = true;
+      } else if (c == ',') {
+        fields.push_back(std::move(current));
+        current.clear();
+      } else {
+        current.push_back(c);
+      }
+    }
+    ++i;
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+Status ReadCsv(const std::string& path, const std::string& entity_column,
+               Dataset* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::Error("cannot open CSV file: " + path);
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::Error("CSV file is empty: " + path);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::vector<std::string> header = ParseCsvLine(line);
+
+  int entity_idx = -1;
+  std::vector<std::string> attr_names;
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (!entity_column.empty() && header[i] == entity_column) {
+      entity_idx = static_cast<int>(i);
+    } else {
+      attr_names.push_back(header[i]);
+    }
+  }
+  if (!entity_column.empty() && entity_idx < 0) {
+    return Status::Error("entity column not found: " + entity_column);
+  }
+
+  Dataset dataset{Schema(attr_names)};
+  std::unordered_map<std::string, EntityId> entity_ids;
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(line);
+    if (fields.size() != header.size()) {
+      return Status::Error("CSV row " + std::to_string(line_no) + " has " +
+                           std::to_string(fields.size()) + " fields, header " +
+                           "has " + std::to_string(header.size()));
+    }
+    Record rec;
+    EntityId entity = kUnknownEntity;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      if (static_cast<int>(i) == entity_idx) {
+        auto [it, inserted] = entity_ids.emplace(
+            fields[i], static_cast<EntityId>(entity_ids.size()));
+        entity = it->second;
+      } else {
+        rec.values.push_back(std::move(fields[i]));
+      }
+    }
+    dataset.Add(std::move(rec), entity);
+  }
+  *out = std::move(dataset);
+  return Status::Ok();
+}
+
+Status WriteCsv(const std::string& path, const Dataset& dataset,
+                const std::string& entity_column) {
+  std::ofstream out_file(path);
+  if (!out_file.is_open()) {
+    return Status::Error("cannot open CSV file for writing: " + path);
+  }
+  std::vector<std::string> header;
+  if (!entity_column.empty()) header.push_back(entity_column);
+  for (const std::string& name : dataset.schema().names()) {
+    header.push_back(name);
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (i > 0) out_file << ',';
+    out_file << EscapeCsvField(header[i]);
+  }
+  out_file << '\n';
+  for (RecordId id = 0; id < dataset.size(); ++id) {
+    bool first = true;
+    if (!entity_column.empty()) {
+      out_file << std::to_string(dataset.entity(id));
+      first = false;
+    }
+    for (const std::string& v : dataset.record(id).values) {
+      if (!first) out_file << ',';
+      out_file << EscapeCsvField(v);
+      first = false;
+    }
+    out_file << '\n';
+  }
+  if (!out_file.good()) {
+    return Status::Error("error while writing CSV file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sablock::data

@@ -1,0 +1,230 @@
+#include "data/name_pools.h"
+
+namespace sablock::data {
+
+const std::vector<std::string_view>& FirstNamePool() {
+  static const std::vector<std::string_view> kPool = {
+      "james",    "mary",      "john",      "patricia", "robert",
+      "jennifer", "michael",   "linda",     "william",  "elizabeth",
+      "david",    "barbara",   "richard",   "susan",    "joseph",
+      "jessica",  "thomas",    "sarah",     "charles",  "karen",
+      "christopher", "nancy",  "daniel",    "lisa",     "matthew",
+      "margaret", "anthony",   "betty",     "donald",   "sandra",
+      "mark",     "ashley",    "paul",      "dorothy",  "steven",
+      "kimberly", "andrew",    "emily",     "kenneth",  "donna",
+      "george",   "michelle",  "joshua",    "carol",    "kevin",
+      "amanda",   "brian",     "melissa",   "edward",   "deborah",
+      "ronald",   "stephanie", "timothy",   "rebecca",  "jason",
+      "laura",    "jeffrey",   "sharon",    "ryan",     "cynthia",
+      "jacob",    "kathleen",  "gary",      "amy",      "nicholas",
+      "shirley",  "eric",      "angela",    "jonathan", "helen",
+      "stephen",  "anna",      "larry",     "brenda",   "justin",
+      "pamela",   "scott",     "nicole",    "brandon",  "ruth",
+      "benjamin", "katherine", "samuel",    "samantha", "gregory",
+      "christine", "frank",    "emma",      "alexander", "catherine",
+      "raymond",  "debra",     "patrick",   "virginia", "jack",
+      "rachel",   "dennis",    "carolyn",   "jerry",    "janet",
+      "tyler",    "maria",     "aaron",     "heather",  "jose",
+      "diane",    "adam",      "julie",     "nathan",   "joyce",
+      "henry",    "victoria",  "douglas",   "kelly",    "zachary",
+      "christina", "peter",    "joan",      "kyle",     "evelyn",
+      "walter",   "lauren",    "ethan",     "judith",   "jeremy",
+      "olivia",   "harold",    "frances",   "keith",    "martha",
+      "christian", "cheryl",   "roger",     "megan",    "noah",
+      "andrea",   "gerald",    "hannah",    "carl",     "jacqueline",
+      "terry",    "ann",       "sean",      "jean",     "austin",
+      "alice",    "arthur",    "kathryn",   "lawrence", "gloria",
+      "jesse",    "teresa",    "dylan",     "doris",    "bryan",
+      "sara",     "joe",       "janice",    "jordan",   "julia",
+      "billy",    "marie",     "bruce",     "madison",  "albert",
+      "grace",    "willie",    "judy",      "gabriel",  "theresa",
+      "logan",    "beverly",   "alan",      "denise",   "juan",
+      "marilyn",  "wayne",     "amber",     "roy",      "danielle",
+      "ralph",    "abigail",   "randy",     "brittany", "eugene",
+      "rose",     "vincent",   "diana",     "russell",  "natalie",
+      "elijah",   "sophia",    "louis",     "alexis",   "bobby",
+      "lori",     "philip",    "kayla",     "johnny",   "jane",
+  };
+  return kPool;
+}
+
+const std::vector<std::string_view>& LastNamePool() {
+  static const std::vector<std::string_view> kPool = {
+      "smith",     "johnson",   "williams",  "brown",     "jones",
+      "garcia",    "miller",    "davis",     "rodriguez", "martinez",
+      "hernandez", "lopez",     "gonzalez",  "wilson",    "anderson",
+      "thomas",    "taylor",    "moore",     "jackson",   "martin",
+      "lee",       "perez",     "thompson",  "white",     "harris",
+      "sanchez",   "clark",     "ramirez",   "lewis",     "robinson",
+      "walker",    "young",     "allen",     "king",      "wright",
+      "scott",     "torres",    "nguyen",    "hill",      "flores",
+      "green",     "adams",     "nelson",    "baker",     "hall",
+      "rivera",    "campbell",  "mitchell",  "carter",    "roberts",
+      "gomez",     "phillips",  "evans",     "turner",    "diaz",
+      "parker",    "cruz",      "edwards",   "collins",   "reyes",
+      "stewart",   "morris",    "morales",   "murphy",    "cook",
+      "rogers",    "gutierrez", "ortiz",     "morgan",    "cooper",
+      "peterson",  "bailey",    "reed",      "kelly",     "howard",
+      "ramos",     "kim",       "cox",       "ward",      "richardson",
+      "watson",    "brooks",    "chavez",    "wood",      "james",
+      "bennett",   "gray",      "mendoza",   "ruiz",      "hughes",
+      "price",     "alvarez",   "castillo",  "sanders",   "patel",
+      "myers",     "long",      "ross",      "foster",    "jimenez",
+      "powell",    "jenkins",   "perry",     "russell",   "sullivan",
+      "bell",      "coleman",   "butler",    "henderson", "barnes",
+      "gonzales",  "fisher",    "vasquez",   "simmons",   "romero",
+      "jordan",    "patterson", "alexander", "hamilton",  "graham",
+      "reynolds",  "griffin",   "wallace",   "moreno",    "west",
+      "cole",      "hayes",     "bryant",    "herrera",   "gibson",
+      "ellis",     "tran",      "medina",    "aguilar",   "stevens",
+      "murray",    "ford",      "castro",    "marshall",  "owens",
+      "harrison",  "fernandez", "mcdonald",  "woods",     "washington",
+      "kennedy",   "wells",     "vargas",    "henry",     "chen",
+      "freeman",   "webb",      "tucker",    "guzman",    "burns",
+      "crawford",  "olson",     "simpson",   "porter",    "hunter",
+      "gordon",    "mendez",    "silva",     "shaw",      "snyder",
+      "mason",     "dixon",     "munoz",     "hunt",      "hicks",
+      "holmes",    "palmer",    "wagner",    "black",     "robertson",
+      "boyd",      "rose",      "stone",     "salazar",   "fox",
+      "warren",    "mills",     "meyer",     "rice",      "schmidt",
+      "garza",     "daniels",   "ferguson",  "nichols",   "stephens",
+      "soto",      "weaver",    "ryan",      "gardner",   "payne",
+      "grant",     "dunn",      "kelley",    "spencer",   "hawkins",
+  };
+  return kPool;
+}
+
+const std::vector<std::string_view>& TitleWordPool() {
+  static const std::vector<std::string_view> kPool = {
+      "learning",      "neural",        "networks",     "cascade",
+      "correlation",   "architecture",  "genetic",      "algorithms",
+      "reinforcement", "supervised",    "unsupervised", "classification",
+      "regression",    "clustering",    "bayesian",     "inference",
+      "markov",        "models",        "hidden",       "gradient",
+      "descent",       "stochastic",    "optimization", "convergence",
+      "boosting",      "bagging",       "ensemble",     "decision",
+      "trees",         "forests",       "kernel",       "machines",
+      "support",       "vector",        "feature",      "selection",
+      "extraction",    "dimensionality", "reduction",   "principal",
+      "component",     "analysis",      "independent",  "recurrent",
+      "convolutional", "backpropagation", "perceptron", "multilayer",
+      "radial",        "basis",         "functions",    "approximation",
+      "generalization", "regularization", "pruning",    "growth",
+      "controlled",    "adaptive",      "dynamic",      "temporal",
+      "sequence",      "prediction",    "speech",       "recognition",
+      "vision",        "image",         "segmentation", "object",
+      "detection",     "language",      "processing",   "parsing",
+      "knowledge",     "representation", "reasoning",   "planning",
+      "search",        "heuristic",     "constraint",   "satisfaction",
+      "probabilistic", "graphical",     "belief",       "propagation",
+      "sampling",      "monte",         "carlo",        "variational",
+      "expectation",   "maximization",  "likelihood",   "estimation",
+      "information",   "theory",        "entropy",      "complexity",
+      "computational", "efficient",     "scalable",     "parallel",
+      "distributed",   "online",        "incremental",  "active",
+      "transfer",      "multitask",     "semisupervised", "relational",
+      "inductive",     "logic",         "programming",  "evolutionary",
+      "swarm",         "annealing",     "hopfield",     "boltzmann",
+      "associative",   "memory",        "attention",    "retrieval",
+  };
+  return kPool;
+}
+
+const std::vector<std::string_view>& TitleFillerPool() {
+  static const std::vector<std::string_view> kPool = {
+      "the", "a", "an", "on", "for", "with", "using", "towards", "of", "in",
+  };
+  return kPool;
+}
+
+const std::vector<std::string_view>& JournalPool() {
+  static const std::vector<std::string_view> kPool = {
+      "Machine Learning Journal",
+      "Journal of Artificial Intelligence Research",
+      "Neural Computation",
+      "Journal of Machine Learning Research",
+      "IEEE Transactions on Neural Networks",
+      "Artificial Intelligence Journal",
+      "Pattern Recognition Journal",
+      "Data Mining and Knowledge Discovery",
+      "IEEE Transactions on Pattern Analysis",
+      "International Journal of Computer Vision",
+      "Journal of Cognitive Science",
+      "Evolutionary Computation Journal",
+  };
+  return kPool;
+}
+
+const std::vector<std::string_view>& ProceedingsPool() {
+  static const std::vector<std::string_view> kPool = {
+      "NIPS Proceedings",
+      "Neural Information Processing Systems",
+      "Proceedings of ICML",
+      "International Conference on Machine Learning",
+      "Proceedings of AAAI",
+      "National Conference on Artificial Intelligence",
+      "Proceedings of IJCAI",
+      "International Joint Conference on AI",
+      "Proceedings on Neural Networks",
+      "International Conference on Neural Networks",
+      "Proceedings of COLT",
+      "Conference on Learning Theory",
+      "Proceedings of KDD",
+      "Knowledge Discovery and Data Mining",
+  };
+  return kPool;
+}
+
+const std::vector<std::string_view>& BookPublisherPool() {
+  static const std::vector<std::string_view> kPool = {
+      "MIT Press",          "Morgan Kaufmann", "Springer Verlag",
+      "Cambridge University Press", "Oxford University Press",
+      "Addison Wesley",     "Academic Press",  "Wiley and Sons",
+  };
+  return kPool;
+}
+
+const std::vector<std::string_view>& InstitutionPool() {
+  static const std::vector<std::string_view> kPool = {
+      "Carnegie Mellon University",
+      "Stanford University",
+      "Massachusetts Institute of Technology",
+      "University of California Berkeley",
+      "University of Toronto",
+      "University of Edinburgh",
+      "Australian National University",
+      "University of Massachusetts",
+      "Technical University of Munich",
+      "University of Cambridge",
+      "California Institute of Technology",
+      "University of Washington",
+  };
+  return kPool;
+}
+
+const std::vector<std::string_view>& CityPool() {
+  static const std::vector<std::string_view> kPool = {
+      "charlotte",    "raleigh",      "greensboro",  "durham",
+      "winston salem", "fayetteville", "cary",        "wilmington",
+      "high point",   "asheville",    "concord",     "gastonia",
+      "greenville",   "jacksonville", "chapel hill", "rocky mount",
+      "huntersville", "burlington",   "wilson",      "kannapolis",
+      "apex",         "hickory",      "goldsboro",   "indian trail",
+      "mooresville",  "monroe",       "salisbury",   "new bern",
+      "sanford",      "matthews",     "boone",       "elizabeth city",
+  };
+  return kPool;
+}
+
+const std::vector<std::string_view>& StreetPool() {
+  static const std::vector<std::string_view> kPool = {
+      "main",    "oak",     "maple",    "cedar",   "pine",
+      "elm",     "washington", "lake",  "hill",    "church",
+      "park",    "spring",  "ridge",   "walnut",  "forest",
+      "highland", "mill",   "river",   "sunset",  "meadow",
+      "willow",  "chestnut", "franklin", "jackson", "dogwood",
+  };
+  return kPool;
+}
+
+}  // namespace sablock::data

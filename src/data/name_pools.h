@@ -1,0 +1,46 @@
+#ifndef SABLOCK_DATA_NAME_POOLS_H_
+#define SABLOCK_DATA_NAME_POOLS_H_
+
+#include <string_view>
+#include <vector>
+
+namespace sablock::data {
+
+/// Embedded word pools backing the synthetic data generators. Real data
+/// sets (Cora, NC Voter) are not redistributable inside this repository, so
+/// the generators draw entity attributes from these pools (see DESIGN.md §2
+/// for the substitution rationale).
+
+/// Common English given names (mixed gender).
+const std::vector<std::string_view>& FirstNamePool();
+
+/// Common English surnames.
+const std::vector<std::string_view>& LastNamePool();
+
+/// Machine-learning paper title vocabulary (content words).
+const std::vector<std::string_view>& TitleWordPool();
+
+/// Connective words used to glue title phrases together.
+const std::vector<std::string_view>& TitleFillerPool();
+
+/// Journal venue names (bibliographic domain).
+const std::vector<std::string_view>& JournalPool();
+
+/// Conference / proceedings venue names.
+const std::vector<std::string_view>& ProceedingsPool();
+
+/// Book publisher names.
+const std::vector<std::string_view>& BookPublisherPool();
+
+/// Institution names (for technical reports and theses).
+const std::vector<std::string_view>& InstitutionPool();
+
+/// US city names (voter domain).
+const std::vector<std::string_view>& CityPool();
+
+/// Street name stems (voter domain).
+const std::vector<std::string_view>& StreetPool();
+
+}  // namespace sablock::data
+
+#endif  // SABLOCK_DATA_NAME_POOLS_H_

@@ -1,0 +1,73 @@
+#include "data/record.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sablock::data {
+
+Schema::Schema(std::vector<std::string> attribute_names)
+    : names_(std::move(attribute_names)) {}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t Schema::RequireIndex(std::string_view name) const {
+  int idx = IndexOf(name);
+  SABLOCK_CHECK_MSG(idx >= 0, "schema is missing a required attribute");
+  return static_cast<size_t>(idx);
+}
+
+RecordId Dataset::Add(Record record, EntityId entity) {
+  SABLOCK_CHECK_MSG(record.values.size() == schema_.size(),
+                    "record arity does not match schema");
+  records_.push_back(std::move(record));
+  entities_.push_back(entity);
+  return static_cast<RecordId>(records_.size() - 1);
+}
+
+std::string_view Dataset::Value(RecordId id, std::string_view attribute) const {
+  int idx = schema_.IndexOf(attribute);
+  if (idx < 0) return {};
+  return records_[id].values[static_cast<size_t>(idx)];
+}
+
+std::string Dataset::ConcatenatedValues(
+    RecordId id, const std::vector<std::string>& attributes) const {
+  std::string joined;
+  for (const std::string& attr : attributes) {
+    std::string_view v = Value(id, attr);
+    if (v.empty()) continue;
+    if (!joined.empty()) joined.push_back(' ');
+    joined.append(v);
+  }
+  return NormalizeForMatching(joined);
+}
+
+uint64_t Dataset::CountTrueMatchPairs() const {
+  std::unordered_map<EntityId, uint64_t> cluster_sizes;
+  for (EntityId e : entities_) {
+    if (e != kUnknownEntity) ++cluster_sizes[e];
+  }
+  uint64_t pairs = 0;
+  for (const auto& [entity, n] : cluster_sizes) {
+    pairs += n * (n - 1) / 2;
+  }
+  return pairs;
+}
+
+Dataset Dataset::Prefix(size_t n) const {
+  Dataset out(schema_);
+  size_t limit = n < records_.size() ? n : records_.size();
+  for (size_t i = 0; i < limit; ++i) {
+    out.Add(records_[i], entities_[i]);
+  }
+  return out;
+}
+
+}  // namespace sablock::data

@@ -1,0 +1,105 @@
+#ifndef SABLOCK_DATA_RECORD_H_
+#define SABLOCK_DATA_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sablock::data {
+
+/// Record identifier: the position of a record inside its Dataset.
+using RecordId = uint32_t;
+
+/// Entity identifier from the ground truth; records with equal entity ids
+/// represent the same real-world entity.
+using EntityId = uint32_t;
+
+/// Sentinel for records with no ground-truth label.
+inline constexpr EntityId kUnknownEntity = ~0u;
+
+/// Ordered list of attribute names shared by all records of a Dataset.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attribute_names);
+
+  /// Index of an attribute name, or -1 if absent.
+  int IndexOf(std::string_view name) const;
+
+  /// Index of an attribute name; aborts if absent.
+  size_t RequireIndex(std::string_view name) const;
+
+  size_t size() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// A record is a flat list of attribute values aligned with a Schema.
+/// Missing values are represented by empty strings.
+struct Record {
+  std::vector<std::string> values;
+};
+
+/// A dataset: schema, records, and optional ground-truth entity labels.
+/// This is the input type of every blocking technique in the library.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(Schema schema) : schema_(std::move(schema)) {}
+
+  /// Appends a record; aborts if its arity does not match the schema.
+  /// Returns the new record's id.
+  RecordId Add(Record record, EntityId entity = kUnknownEntity);
+
+  /// Number of records.
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  const Schema& schema() const { return schema_; }
+  const Record& record(RecordId id) const { return records_[id]; }
+  const std::vector<Record>& records() const { return records_; }
+
+  /// Ground-truth entity of a record (kUnknownEntity if unlabeled).
+  EntityId entity(RecordId id) const { return entities_[id]; }
+  const std::vector<EntityId>& entities() const { return entities_; }
+
+  /// True if two records are a ground-truth match.
+  bool IsMatch(RecordId a, RecordId b) const {
+    return entities_[a] != kUnknownEntity && entities_[a] == entities_[b];
+  }
+
+  /// Value of `attribute` in record `id`; empty string if the attribute
+  /// does not exist in the schema.
+  std::string_view Value(RecordId id, std::string_view attribute) const;
+
+  /// Concatenation of the values of `attributes` in record `id`, separated
+  /// by single spaces, normalized for matching (lower-case alnum). This is
+  /// the canonical "blocking text" of a record.
+  std::string ConcatenatedValues(
+      RecordId id, const std::vector<std::string>& attributes) const;
+
+  /// Total number of ground-truth matching pairs |Ω_tp|.
+  uint64_t CountTrueMatchPairs() const;
+
+  /// Total number of distinct record pairs |Ω| = n(n-1)/2.
+  uint64_t TotalPairs() const {
+    uint64_t n = records_.size();
+    return n * (n - 1) / 2;
+  }
+
+  /// Returns a new dataset containing the first `n` records (a prefix
+  /// subset, used by the scalability experiments).
+  Dataset Prefix(size_t n) const;
+
+ private:
+  Schema schema_;
+  std::vector<Record> records_;
+  std::vector<EntityId> entities_;
+};
+
+}  // namespace sablock::data
+
+#endif  // SABLOCK_DATA_RECORD_H_

@@ -1,0 +1,74 @@
+#include "eval/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/timer.h"
+
+namespace sablock::eval {
+
+TechniqueResult RunTechnique(const core::BlockingTechnique& technique,
+                             const data::Dataset& dataset) {
+  TechniqueResult result;
+  result.name = technique.name();
+  sablock::WallTimer timer;
+  core::BlockCollection blocks = technique.Run(dataset);
+  result.seconds = timer.Seconds();
+  result.metrics = Evaluate(dataset, blocks);
+  return result;
+}
+
+std::vector<TechniqueResult> RunAll(
+    const std::vector<std::unique_ptr<core::BlockingTechnique>>& settings,
+    const data::Dataset& dataset) {
+  std::vector<TechniqueResult> results;
+  results.reserve(settings.size());
+  for (const auto& technique : settings) {
+    results.push_back(RunTechnique(*technique, dataset));
+  }
+  return results;
+}
+
+size_t BestByFm(const std::vector<TechniqueResult>& results) {
+  size_t best = 0;
+  for (size_t i = 1; i < results.size(); ++i) {
+    if (results[i].metrics.fm > results[best].metrics.fm) best = i;
+  }
+  return best;
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::Print() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += cells[c];
+      line.append(widths[c] - cells[c].size() + 2, ' ');
+    }
+    std::printf("%s\n", line.c_str());
+  };
+  print_row(headers_);
+  std::string rule;
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append(2, ' ');
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace sablock::eval

@@ -1,0 +1,54 @@
+#ifndef SABLOCK_EVAL_HARNESS_H_
+#define SABLOCK_EVAL_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/blocking.h"
+#include "eval/metrics.h"
+
+namespace sablock::eval {
+
+/// The outcome of running one blocking technique (one parameter setting)
+/// on one dataset — a row of the Table 3 / Fig. 11 reproductions.
+struct TechniqueResult {
+  std::string name;
+  Metrics metrics;
+  double seconds = 0.0;
+};
+
+/// Runs a technique, timing block construction (the Table 3 "Time" column
+/// measures block building only, as in the paper).
+TechniqueResult RunTechnique(const core::BlockingTechnique& technique,
+                             const data::Dataset& dataset);
+
+/// Runs every setting and returns all results.
+std::vector<TechniqueResult> RunAll(
+    const std::vector<std::unique_ptr<core::BlockingTechnique>>& settings,
+    const data::Dataset& dataset);
+
+/// Index of the result with the highest FM (the paper reports each
+/// technique at its best-performing setting). Returns 0 for empty input.
+size_t BestByFm(const std::vector<TechniqueResult>& results);
+
+/// Fixed-width console table writer used by the bench binaries to print
+/// paper-style tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; cells beyond the header count are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sablock::eval
+
+#endif  // SABLOCK_EVAL_HARNESS_H_

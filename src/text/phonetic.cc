@@ -1,0 +1,151 @@
+#include "text/phonetic.h"
+
+#include <cctype>
+
+namespace sablock::text {
+
+namespace {
+
+// Soundex digit for an upper-case letter; '0' for vowels and h/w/y.
+char SoundexDigit(char c) {
+  switch (c) {
+    case 'B':
+    case 'F':
+    case 'P':
+    case 'V':
+      return '1';
+    case 'C':
+    case 'G':
+    case 'J':
+    case 'K':
+    case 'Q':
+    case 'S':
+    case 'X':
+    case 'Z':
+      return '2';
+    case 'D':
+    case 'T':
+      return '3';
+    case 'L':
+      return '4';
+    case 'M':
+    case 'N':
+      return '5';
+    case 'R':
+      return '6';
+    default:
+      return '0';
+  }
+}
+
+std::string UpperAlpha(std::string_view word) {
+  std::string out;
+  out.reserve(word.size());
+  for (char c : word) {
+    unsigned char u = static_cast<unsigned char>(c);
+    if (std::isalpha(u)) out.push_back(static_cast<char>(std::toupper(u)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Soundex(std::string_view word) {
+  std::string w = UpperAlpha(word);
+  if (w.empty()) return "0000";
+  std::string code;
+  code.push_back(w[0]);
+  char prev_digit = SoundexDigit(w[0]);
+  for (size_t i = 1; i < w.size() && code.size() < 4; ++i) {
+    char d = SoundexDigit(w[i]);
+    // H and W do not reset the previous digit; vowels do.
+    if (w[i] == 'H' || w[i] == 'W') continue;
+    if (d != '0' && d != prev_digit) code.push_back(d);
+    prev_digit = d;
+  }
+  while (code.size() < 4) code.push_back('0');
+  return code;
+}
+
+std::string Nysiis(std::string_view word) {
+  std::string w = UpperAlpha(word);
+  if (w.empty()) return "";
+
+  auto replace_prefix = [&w](std::string_view from, std::string_view to) {
+    if (w.size() >= from.size() && w.compare(0, from.size(), from) == 0) {
+      w = std::string(to) + w.substr(from.size());
+      return true;
+    }
+    return false;
+  };
+  auto replace_suffix = [&w](std::string_view from, std::string_view to) {
+    if (w.size() >= from.size() &&
+        w.compare(w.size() - from.size(), from.size(), from) == 0) {
+      w = w.substr(0, w.size() - from.size()) + std::string(to);
+      return true;
+    }
+    return false;
+  };
+
+  // Standard NYSIIS prefix/suffix transformations.
+  replace_prefix("MAC", "MCC") || replace_prefix("KN", "NN") ||
+      replace_prefix("K", "C") || replace_prefix("PH", "FF") ||
+      replace_prefix("PF", "FF") || replace_prefix("SCH", "SSS");
+  replace_suffix("EE", "Y") || replace_suffix("IE", "Y") ||
+      replace_suffix("DT", "D") || replace_suffix("RT", "D") ||
+      replace_suffix("RD", "D") || replace_suffix("NT", "D") ||
+      replace_suffix("ND", "D");
+
+  auto is_vowel = [](char c) {
+    return c == 'A' || c == 'E' || c == 'I' || c == 'O' || c == 'U';
+  };
+
+  std::string code;
+  code.push_back(w[0]);
+  for (size_t i = 1; i < w.size(); ++i) {
+    char cur = w[i];
+    std::string repl(1, cur);
+    if (i + 1 < w.size() && cur == 'E' && w[i + 1] == 'V') {
+      repl = "AF";
+      ++i;
+    } else if (is_vowel(cur)) {
+      repl = "A";
+    } else if (cur == 'Q') {
+      repl = "G";
+    } else if (cur == 'Z') {
+      repl = "S";
+    } else if (cur == 'M') {
+      repl = "N";
+    } else if (cur == 'K') {
+      repl = (i + 1 < w.size() && w[i + 1] == 'N') ? "N" : "C";
+    } else if (i + 2 < w.size() && cur == 'S' && w[i + 1] == 'C' &&
+               w[i + 2] == 'H') {
+      repl = "SSS";
+      i += 2;
+    } else if (i + 1 < w.size() && cur == 'P' && w[i + 1] == 'H') {
+      repl = "FF";
+      ++i;
+    } else if (cur == 'H' &&
+               (!is_vowel(w[i - 1]) ||
+                (i + 1 < w.size() && !is_vowel(w[i + 1])))) {
+      // H collapses into the *encoded* previous character (so a vowel
+      // before it has already become 'A').
+      repl = std::string(1, code.back());
+    } else if (cur == 'W' && is_vowel(w[i - 1])) {
+      repl = std::string(1, code.back());
+    }
+    for (char rc : repl) {
+      if (code.empty() || code.back() != rc) code.push_back(rc);
+    }
+  }
+
+  // Suffix cleanup: trailing S, AY -> Y, trailing A.
+  if (code.size() > 1 && code.back() == 'S') code.pop_back();
+  if (code.size() >= 2 && code.compare(code.size() - 2, 2, "AY") == 0) {
+    code = code.substr(0, code.size() - 2) + "Y";
+  }
+  if (code.size() > 1 && code.back() == 'A') code.pop_back();
+  return code;
+}
+
+}  // namespace sablock::text

@@ -1,0 +1,21 @@
+#ifndef SABLOCK_TEXT_PHONETIC_H_
+#define SABLOCK_TEXT_PHONETIC_H_
+
+#include <string>
+#include <string_view>
+
+namespace sablock::text {
+
+/// American Soundex code (letter + 3 digits, e.g. "smith" -> "S530").
+/// Non-alphabetic characters are ignored; empty input yields "0000".
+/// Soundex is the classic phonetic encoding for blocking keys (TBlo).
+std::string Soundex(std::string_view word);
+
+/// NYSIIS phonetic code (New York State Identification and Intelligence
+/// System), a more discriminating alternative to Soundex used in record
+/// linkage. Returns an upper-case code; empty input yields "".
+std::string Nysiis(std::string_view word);
+
+}  // namespace sablock::text
+
+#endif  // SABLOCK_TEXT_PHONETIC_H_

@@ -1,0 +1,91 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+
+#include "common/hashing.h"
+
+namespace sablock::text {
+
+std::vector<std::string> QGrams(std::string_view s, int q, bool padded) {
+  std::vector<std::string> grams;
+  if (q <= 0) return grams;
+  std::string text;
+  if (padded) {
+    text.assign(static_cast<size_t>(q - 1), '#');
+    text.append(s);
+    text.append(static_cast<size_t>(q - 1), '$');
+  } else {
+    text.assign(s);
+  }
+  if (text.empty()) return grams;
+  if (text.size() < static_cast<size_t>(q)) {
+    grams.push_back(text);
+    return grams;
+  }
+  grams.reserve(text.size() - q + 1);
+  for (size_t i = 0; i + q <= text.size(); ++i) {
+    grams.emplace_back(text.substr(i, q));
+  }
+  return grams;
+}
+
+std::vector<std::string> QGramSet(std::string_view s, int q, bool padded) {
+  std::vector<std::string> grams = QGrams(s, q, padded);
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+std::vector<uint64_t> QGramHashes(std::string_view s, int q) {
+  std::vector<uint64_t> hashes;
+  if (q <= 0 || s.empty()) return hashes;
+  if (s.size() < static_cast<size_t>(q)) {
+    hashes.push_back(HashBytes(s));
+    return hashes;
+  }
+  hashes.reserve(s.size() - q + 1);
+  for (size_t i = 0; i + q <= s.size(); ++i) {
+    hashes.push_back(HashBytes(s.substr(i, q)));
+  }
+  std::sort(hashes.begin(), hashes.end());
+  hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
+  return hashes;
+}
+
+namespace {
+
+template <typename T>
+double JaccardImpl(const std::vector<T>& a, const std::vector<T>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  size_t common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++common;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - common;
+  return static_cast<double>(common) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double JaccardSorted(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b) {
+  return JaccardImpl(a, b);
+}
+
+double JaccardSortedHashes(const std::vector<uint64_t>& a,
+                           const std::vector<uint64_t>& b) {
+  return JaccardImpl(a, b);
+}
+
+}  // namespace sablock::text

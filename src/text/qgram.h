@@ -1,0 +1,38 @@
+#ifndef SABLOCK_TEXT_QGRAM_H_
+#define SABLOCK_TEXT_QGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sablock::text {
+
+/// Extracts the (overlapping) q-grams of `s`. If `padded`, the string is
+/// framed with q-1 copies of '#' / '$' so that prefixes/suffixes form
+/// distinguishable grams (the convention used by q-gram blocking indexes).
+/// Strings shorter than q yield the whole string as a single gram.
+std::vector<std::string> QGrams(std::string_view s, int q,
+                                bool padded = false);
+
+/// Sorted, deduplicated q-gram set (the set representation used by Jaccard
+/// similarity and shingling).
+std::vector<std::string> QGramSet(std::string_view s, int q,
+                                  bool padded = false);
+
+/// 64-bit hashes of the distinct q-grams of `s`, sorted and deduplicated.
+/// The shingle representation used by minhash (hashing avoids string
+/// comparisons in the inner loop).
+std::vector<uint64_t> QGramHashes(std::string_view s, int q);
+
+/// Jaccard coefficient of two sorted, deduplicated sequences.
+double JaccardSorted(const std::vector<std::string>& a,
+                     const std::vector<std::string>& b);
+
+/// Jaccard coefficient of two sorted, deduplicated hash sequences.
+double JaccardSortedHashes(const std::vector<uint64_t>& a,
+                           const std::vector<uint64_t>& b);
+
+}  // namespace sablock::text
+
+#endif  // SABLOCK_TEXT_QGRAM_H_

@@ -1,0 +1,74 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace sablock::text {
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  double dot = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.entries.size() && j < b.entries.size()) {
+    if (a.entries[i].first == b.entries[j].first) {
+      dot += static_cast<double>(a.entries[i].second) * b.entries[j].second;
+      ++i;
+      ++j;
+    } else if (a.entries[i].first < b.entries[j].first) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return dot;
+}
+
+void TfIdfVectorizer::Build(const std::vector<std::string>& corpus) {
+  term_ids_.clear();
+  std::vector<uint32_t> doc_freq;
+  for (const std::string& doc : corpus) {
+    std::vector<std::string> tokens = SplitWords(doc);
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (const std::string& t : tokens) {
+      auto [it, inserted] =
+          term_ids_.emplace(t, static_cast<uint32_t>(term_ids_.size()));
+      if (inserted) {
+        doc_freq.push_back(1);
+      } else {
+        ++doc_freq[it->second];
+      }
+    }
+  }
+  idf_.resize(doc_freq.size());
+  const double n = static_cast<double>(std::max<size_t>(corpus.size(), 1));
+  for (size_t i = 0; i < doc_freq.size(); ++i) {
+    idf_[i] = static_cast<float>(std::log(n / (1.0 + doc_freq[i])) + 1.0);
+  }
+}
+
+SparseVector TfIdfVectorizer::Vectorize(std::string_view document) const {
+  std::unordered_map<uint32_t, float> counts;
+  for (const std::string& t : SplitWords(document)) {
+    auto it = term_ids_.find(t);
+    if (it != term_ids_.end()) counts[it->second] += 1.0f;
+  }
+  SparseVector v;
+  v.entries.reserve(counts.size());
+  double norm_sq = 0.0;
+  for (const auto& [term, tf] : counts) {
+    float w = tf * idf_[term];
+    v.entries.emplace_back(term, w);
+    norm_sq += static_cast<double>(w) * w;
+  }
+  std::sort(v.entries.begin(), v.entries.end());
+  if (norm_sq > 0.0) {
+    float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (auto& [term, w] : v.entries) w *= inv;
+  }
+  return v;
+}
+
+}  // namespace sablock::text

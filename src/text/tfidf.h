@@ -1,0 +1,42 @@
+#ifndef SABLOCK_TEXT_TFIDF_H_
+#define SABLOCK_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace sablock::text {
+
+/// A sparse TF-IDF vector: sorted (term id, weight) entries, L2-normalized.
+struct SparseVector {
+  std::vector<std::pair<uint32_t, float>> entries;
+};
+
+/// Cosine similarity of two L2-normalized sparse vectors.
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Corpus-level TF-IDF vectorizer over whitespace tokens. Build() fixes the
+/// vocabulary and document frequencies; Vectorize() then maps any string to
+/// an L2-normalized sparse vector (unknown terms are dropped). Used by the
+/// canopy-clustering baselines (CaTh / CaNN with "TF-IDF cosine").
+class TfIdfVectorizer {
+ public:
+  /// Builds the vocabulary and IDF table from the corpus documents.
+  void Build(const std::vector<std::string>& corpus);
+
+  /// Vectorizes one document against the built vocabulary.
+  SparseVector Vectorize(std::string_view document) const;
+
+  /// Number of distinct terms in the vocabulary.
+  size_t vocabulary_size() const { return idf_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> term_ids_;
+  std::vector<float> idf_;
+};
+
+}  // namespace sablock::text
+
+#endif  // SABLOCK_TEXT_TFIDF_H_

@@ -1,0 +1,138 @@
+// Tests for the analytic collision model (Figs. 5-6 machinery).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/collision.h"
+
+namespace sablock::core {
+namespace {
+
+TEST(LshCollisionTest, ClosedFormMatchesManualComputation) {
+  // 1 - (1 - 0.5^2)^3 = 1 - 0.75^3 = 0.578125.
+  EXPECT_NEAR(LshCollisionProbability(0.5, 2, 3), 0.578125, 1e-12);
+  EXPECT_DOUBLE_EQ(LshCollisionProbability(1.0, 4, 10), 1.0);
+  EXPECT_DOUBLE_EQ(LshCollisionProbability(0.0, 4, 10), 0.0);
+}
+
+TEST(LshCollisionTest, PaperCoraOperatingPoint) {
+  // k=4, l=63: s=0.3 must collide with probability >= 0.4 and s=0.2 with
+  // probability <= 0.1 (Section 6.1).
+  EXPECT_GE(LshCollisionProbability(0.3, 4, 63), 0.40);
+  EXPECT_LE(LshCollisionProbability(0.2, 4, 63), 0.10);
+}
+
+TEST(LshCollisionTest, PaperVoterOperatingPoint) {
+  // k=9, l=15 gives ~0.9 collision probability at s=0.8 (Section 6.1).
+  double p = LshCollisionProbability(0.8, 9, 15);
+  EXPECT_GT(p, 0.85);
+  EXPECT_LT(p, 0.95);
+}
+
+TEST(WWayTest, AndAndOrFormulas) {
+  EXPECT_NEAR(WWayProbability(0.4, 3, SemanticMode::kAnd), 0.064, 1e-12);
+  EXPECT_NEAR(WWayProbability(0.4, 3, SemanticMode::kOr), 1.0 - 0.216,
+              1e-12);
+  EXPECT_DOUBLE_EQ(WWayProbability(0.5, 1, SemanticMode::kAnd),
+                   WWayProbability(0.5, 1, SemanticMode::kOr));
+}
+
+TEST(WWayTest, Fig5MonotonicityInW) {
+  // Fig. 5: increasing w lowers the AND probability and raises the OR
+  // probability, for every s'.
+  for (double s : {0.2, 0.3, 0.4, 0.6, 0.7, 0.8}) {
+    for (int w = 1; w < 15; ++w) {
+      EXPECT_GE(WWayProbability(s, w, SemanticMode::kAnd),
+                WWayProbability(s, w + 1, SemanticMode::kAnd));
+      EXPECT_LE(WWayProbability(s, w, SemanticMode::kOr),
+                WWayProbability(s, w + 1, SemanticMode::kOr));
+    }
+  }
+}
+
+TEST(SaLshCollisionTest, ReducesToLshWhenSemanticsCertain) {
+  // p = 1 when s' = 1 in OR mode: SA-LSH collision equals plain LSH.
+  EXPECT_DOUBLE_EQ(SaLshCollisionProbability(0.4, 1.0, 3, 10, 2,
+                                             SemanticMode::kOr),
+                   LshCollisionProbability(0.4, 3, 10));
+}
+
+TEST(SaLshCollisionTest, ZeroSemanticSimilarityBlocksCollision) {
+  // Proposition 5.3 in the analytic model: s' = 0 -> collision 0.
+  EXPECT_DOUBLE_EQ(SaLshCollisionProbability(1.0, 0.0, 3, 10, 2,
+                                             SemanticMode::kOr),
+                   0.0);
+  EXPECT_DOUBLE_EQ(SaLshCollisionProbability(1.0, 0.0, 3, 10, 2,
+                                             SemanticMode::kAnd),
+                   0.0);
+}
+
+TEST(SaLshCollisionTest, NeverExceedsPlainLsh) {
+  for (double s : {0.2, 0.5, 0.8}) {
+    for (double sp : {0.1, 0.5, 0.9}) {
+      for (int w : {1, 3, 5}) {
+        EXPECT_LE(SaLshCollisionProbability(s, sp, 4, 20, w,
+                                            SemanticMode::kOr),
+                  LshCollisionProbability(s, 4, 20) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(MinTablesForTest, MatchesPaperExample) {
+  // sh=0.3, k=4, ph=0.4 -> l = 63 (the paper's Cora choice).
+  EXPECT_EQ(MinTablesFor(0.3, 4, 0.4), 63);
+}
+
+TEST(MinTablesForTest, EdgeCases) {
+  EXPECT_EQ(MinTablesFor(0.0, 4, 0.5), -1);   // s^k = 0: unsatisfiable
+  EXPECT_EQ(MinTablesFor(0.5, 2, 1.0), -1);   // p = 1: unsatisfiable
+  EXPECT_EQ(MinTablesFor(0.5, 2, 0.0), 1);    // trivially satisfied
+  EXPECT_EQ(MinTablesFor(1.0, 3, 0.99), -1);  // s^k = 1 handled
+}
+
+TEST(MinTablesForTest, ResultActuallySatisfiesTarget) {
+  for (double s : {0.2, 0.4, 0.6}) {
+    for (int k : {2, 4, 6}) {
+      for (double p : {0.3, 0.6, 0.9}) {
+        int l = MinTablesFor(s, k, p);
+        ASSERT_GT(l, 0);
+        EXPECT_GE(LshCollisionProbability(s, k, l), p - 1e-9);
+        if (l > 1) {
+          EXPECT_LT(LshCollisionProbability(s, k, l - 1), p + 1e-9);
+        }
+      }
+    }
+  }
+}
+
+// Property sweep over (k, l): collision probability is increasing in s,
+// increasing in l, decreasing in k.
+class CollisionMonotonicity
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CollisionMonotonicity, MonotoneInSAndLAndK) {
+  auto [k, l] = GetParam();
+  double prev = -1.0;
+  for (double s = 0.0; s <= 1.0; s += 0.05) {
+    double p = LshCollisionProbability(s, k, l);
+    EXPECT_GE(p, prev - 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+    EXPECT_LE(LshCollisionProbability(s, k, l),
+              LshCollisionProbability(s, k, l + 1) + 1e-12);
+    EXPECT_GE(LshCollisionProbability(s, k, l),
+              LshCollisionProbability(s, k + 1, l) - 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, CollisionMonotonicity,
+    ::testing::Combine(::testing::Values(1, 2, 4, 9),
+                       ::testing::Values(2, 15, 63, 210)));
+
+}  // namespace
+}  // namespace sablock::core

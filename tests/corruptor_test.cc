@@ -1,0 +1,129 @@
+// Tests for the corruption model used by the synthetic data generators.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "data/corruptor.h"
+#include "text/similarity.h"
+
+namespace sablock::data {
+namespace {
+
+TEST(CorruptorTest, EmptyStringStaysEmpty) {
+  Corruptor c(CorruptorConfig{});
+  sablock::Rng rng(1);
+  EXPECT_EQ(c.CorruptString("", &rng), "");
+}
+
+TEST(CorruptorTest, ZeroProbabilityIsIdentity) {
+  CorruptorConfig config;
+  config.char_edit_prob = 0.0;
+  config.word_swap_prob = 0.0;
+  config.word_delete_prob = 0.0;
+  Corruptor c(config);
+  sablock::Rng rng(2);
+  // Note: whitespace is normalized by the word-level pass.
+  EXPECT_EQ(c.CorruptString("hello world", &rng), "hello world");
+}
+
+TEST(CorruptorTest, DeterministicGivenSeed) {
+  Corruptor c(CorruptorConfig{});
+  sablock::Rng rng1(42);
+  sablock::Rng rng2(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(c.CorruptString("cascade correlation", &rng1),
+              c.CorruptString("cascade correlation", &rng2));
+  }
+}
+
+TEST(CorruptorTest, OneCharEditChangesAtMostOneEditDistance) {
+  sablock::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::string out = Corruptor::ApplyOneCharEdit("cascade", 0.0, &rng);
+    // insert/delete/substitute are distance 1; transpose is distance <= 2.
+    EXPECT_LE(text::EditDistance("cascade", out), 2);
+    EXPECT_FALSE(out.empty());
+  }
+}
+
+TEST(CorruptorTest, CorruptedStringsStaySimilar) {
+  CorruptorConfig config;
+  config.char_edit_prob = 0.5;
+  config.max_char_edits = 2;
+  config.word_swap_prob = 0.0;    // word-level ops can move whole tokens;
+  config.word_delete_prob = 0.0;  // here we bound char-level noise only
+  Corruptor c(config);
+  sablock::Rng rng(4);
+  const std::string original = "the cascade correlation architecture";
+  for (int i = 0; i < 100; ++i) {
+    std::string out = c.CorruptString(original, &rng);
+    EXPECT_GT(text::EditSimilarity(original, out), 0.6) << out;
+  }
+}
+
+TEST(CorruptorTest, HighEditProbEventuallyChangesString) {
+  CorruptorConfig config;
+  config.char_edit_prob = 1.0;
+  config.max_char_edits = 2;
+  Corruptor c(config);
+  sablock::Rng rng(5);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (c.CorruptString("correlation", &rng) != "correlation") ++changed;
+  }
+  EXPECT_GT(changed, 40);
+}
+
+TEST(KeyboardNeighbourTest, StaysAlphanumericAndPreservesCase) {
+  sablock::Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    char lower = Corruptor::KeyboardNeighbour('a', &rng);
+    EXPECT_TRUE(std::islower(static_cast<unsigned char>(lower)));
+    char upper = Corruptor::KeyboardNeighbour('A', &rng);
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(upper)));
+  }
+  // Characters without neighbours are unchanged.
+  EXPECT_EQ(Corruptor::KeyboardNeighbour('!', &rng), '!');
+}
+
+TEST(OcrConfusionTest, KnownConfusions) {
+  sablock::Rng rng(7);
+  EXPECT_EQ(Corruptor::OcrConfusion('o', &rng), "0");
+  EXPECT_EQ(Corruptor::OcrConfusion('m', &rng), "rn");
+  EXPECT_EQ(Corruptor::OcrConfusion('x', &rng), "x");  // no confusion
+}
+
+TEST(AbbreviateWordTest, Basic) {
+  EXPECT_EQ(AbbreviateWord("proceedings"), "p.");
+  EXPECT_EQ(AbbreviateWord("a"), "a.");
+  EXPECT_EQ(AbbreviateWord(""), "");
+}
+
+TEST(CorruptorTest, WordDeleteShortensSentence) {
+  CorruptorConfig config;
+  config.char_edit_prob = 0.0;
+  config.word_swap_prob = 0.0;
+  config.word_delete_prob = 1.0;
+  Corruptor c(config);
+  sablock::Rng rng(8);
+  std::string out = c.CorruptString("one two three", &rng);
+  // Exactly one word removed.
+  EXPECT_EQ(sablock::SplitWords(out).size(), 2u);
+}
+
+TEST(CorruptorTest, WordSwapKeepsWords) {
+  CorruptorConfig config;
+  config.char_edit_prob = 0.0;
+  config.word_swap_prob = 1.0;
+  config.word_delete_prob = 0.0;
+  Corruptor c(config);
+  sablock::Rng rng(9);
+  std::string out = c.CorruptString("alpha beta", &rng);
+  EXPECT_EQ(out, "beta alpha");
+}
+
+}  // namespace
+}  // namespace sablock::data

@@ -1,0 +1,132 @@
+// Tests for the CSV reader/writer, including failure injection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/csv.h"
+
+namespace sablock::data {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(ParseCsvLineTest, PlainFields) {
+  std::vector<std::string> f = ParseCsvLine("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(ParseCsvLineTest, QuotedFieldsWithCommasAndQuotes) {
+  std::vector<std::string> f =
+      ParseCsvLine(R"("hello, world","say ""hi""",plain)");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "hello, world");
+  EXPECT_EQ(f[1], "say \"hi\"");
+  EXPECT_EQ(f[2], "plain");
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  std::vector<std::string> f = ParseCsvLine(",,");
+  ASSERT_EQ(f.size(), 3u);
+  for (const auto& s : f) EXPECT_TRUE(s.empty());
+}
+
+TEST(EscapeCsvFieldTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvRoundTripTest, WritesAndReadsBack) {
+  Dataset d{Schema({"name", "note"})};
+  d.Add({{"alice", "likes, commas"}}, 0);
+  d.Add({{"bob", "quote \" inside"}}, 0);
+  d.Add({{"carol", ""}}, 1);
+
+  std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(path, d, "entity_id").ok());
+
+  Dataset back;
+  Status s = ReadCsv(path, "entity_id", &back);
+  ASSERT_TRUE(s.ok()) << s.message();
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back.Value(0, "name"), "alice");
+  EXPECT_EQ(back.Value(0, "note"), "likes, commas");
+  EXPECT_EQ(back.Value(1, "note"), "quote \" inside");
+  EXPECT_TRUE(back.IsMatch(0, 1));
+  EXPECT_FALSE(back.IsMatch(0, 2));
+}
+
+TEST(CsvReadTest, WithoutEntityColumn) {
+  std::string path = TempPath("plain.csv");
+  WriteFile(path, "a,b\n1,2\n3,4\n");
+  Dataset d;
+  ASSERT_TRUE(ReadCsv(path, "", &d).ok());
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.entity(0), kUnknownEntity);
+}
+
+TEST(CsvReadTest, SkipsBlankLinesAndCrLf) {
+  std::string path = TempPath("crlf.csv");
+  WriteFile(path, "a,b\r\n1,2\r\n\r\n3,4\r\n");
+  Dataset d;
+  ASSERT_TRUE(ReadCsv(path, "", &d).ok());
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.Value(1, "b"), "4");
+}
+
+TEST(CsvReadTest, MissingFileFails) {
+  Dataset d;
+  Status s = ReadCsv("/nonexistent/dir/file.csv", "", &d);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("cannot open"), std::string::npos);
+}
+
+TEST(CsvReadTest, EmptyFileFails) {
+  std::string path = TempPath("empty.csv");
+  WriteFile(path, "");
+  Dataset d;
+  EXPECT_FALSE(ReadCsv(path, "", &d).ok());
+}
+
+TEST(CsvReadTest, RaggedRowFails) {
+  std::string path = TempPath("ragged.csv");
+  WriteFile(path, "a,b\n1,2,3\n");
+  Dataset d;
+  Status s = ReadCsv(path, "", &d);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("row 2"), std::string::npos);
+}
+
+TEST(CsvReadTest, MissingEntityColumnFails) {
+  std::string path = TempPath("noentity.csv");
+  WriteFile(path, "a,b\n1,2\n");
+  Dataset d;
+  EXPECT_FALSE(ReadCsv(path, "entity_id", &d).ok());
+}
+
+TEST(CsvReadTest, EntityLabelsGroupRecords) {
+  std::string path = TempPath("labels.csv");
+  WriteFile(path, "id,name\ne1,foo\ne2,bar\ne1,foo2\n");
+  Dataset d;
+  ASSERT_TRUE(ReadCsv(path, "id", &d).ok());
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_TRUE(d.IsMatch(0, 2));
+  EXPECT_FALSE(d.IsMatch(0, 1));
+  // The entity column is consumed, not part of the schema.
+  EXPECT_EQ(d.schema().IndexOf("id"), -1);
+}
+
+}  // namespace
+}  // namespace sablock::data

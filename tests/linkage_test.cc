@@ -1,0 +1,133 @@
+// Tests for record-linkage (two-dataset) blocking support.
+
+#include <gtest/gtest.h>
+
+#include "core/domains.h"
+#include "core/linkage.h"
+#include "core/lsh_blocker.h"
+#include "data/voter_generator.h"
+#include "eval/metrics.h"
+
+namespace sablock::core {
+namespace {
+
+using data::Dataset;
+using data::Schema;
+
+LinkageDataset TinyLinkage() {
+  Dataset a{Schema({"name"})};
+  a.Add({{"alice smith"}}, 0);
+  a.Add({{"bob jones"}}, 1);
+  Dataset b{Schema({"name"})};
+  b.Add({{"alice smyth"}}, 0);   // matches A/0
+  b.Add({{"carol white"}}, 5);
+  return MergeForLinkage(a, b);
+}
+
+TEST(MergeForLinkageTest, ConcatenatesWithBoundary) {
+  LinkageDataset link = TinyLinkage();
+  EXPECT_EQ(link.merged.size(), 4u);
+  EXPECT_EQ(link.boundary, 2u);
+  EXPECT_TRUE(link.FromA(0));
+  EXPECT_TRUE(link.FromA(1));
+  EXPECT_FALSE(link.FromA(2));
+  EXPECT_EQ(link.merged.Value(2, "name"), "alice smyth");
+}
+
+TEST(MergeForLinkageDeathTest, RejectsSchemaMismatch) {
+  Dataset a{Schema({"x"})};
+  Dataset b{Schema({"y"})};
+  EXPECT_DEATH(MergeForLinkage(a, b), "schemas");
+}
+
+TEST(CrossSourceBlocksTest, KeepsOnlyBipartitePairs) {
+  BlockCollection blocks;
+  blocks.Add({0, 1, 2});  // A-A pair (0,1) must vanish; (0,2),(1,2) stay
+  blocks.Add({2, 3});     // B-B pair: vanishes entirely
+  BlockCollection cross = CrossSourceBlocks(blocks, /*boundary=*/2);
+  PairSet pairs = cross.DistinctPairs();
+  EXPECT_EQ(pairs.size(), 2u);
+  EXPECT_TRUE(pairs.Contains(0, 2));
+  EXPECT_TRUE(pairs.Contains(1, 2));
+  EXPECT_FALSE(pairs.Contains(0, 1));
+  EXPECT_FALSE(pairs.Contains(2, 3));
+}
+
+TEST(CrossSourceBlocksTest, DeduplicatesAcrossBlocks) {
+  BlockCollection blocks;
+  blocks.Add({0, 2});
+  blocks.Add({0, 2});
+  BlockCollection cross = CrossSourceBlocks(blocks, 2);
+  EXPECT_EQ(cross.NumBlocks(), 1u);
+}
+
+TEST(LinkageCountsTest, CrossTrueMatchesAndTotals) {
+  LinkageDataset link = TinyLinkage();
+  EXPECT_EQ(CountCrossTrueMatches(link), 1u);  // alice on both sides
+  EXPECT_EQ(TotalCrossPairs(link), 4u);        // 2 × 2
+}
+
+TEST(LinkageCountsTest, MultiRecordEntities) {
+  Dataset a{Schema({"x"})};
+  a.Add({{"r"}}, 7);
+  a.Add({{"r"}}, 7);
+  Dataset b{Schema({"x"})};
+  b.Add({{"r"}}, 7);
+  b.Add({{"r"}}, 7);
+  b.Add({{"r"}}, 7);
+  LinkageDataset link = MergeForLinkage(a, b);
+  EXPECT_EQ(CountCrossTrueMatches(link), 6u);  // 2 × 3
+}
+
+TEST(VoterLinkagePairTest, GeneratorInvariants) {
+  data::VoterGeneratorConfig config;
+  config.seed = 17;
+  Dataset a;
+  Dataset b;
+  GenerateVoterLinkagePair(config, 300, 200, 0.5, &a, &b);
+  EXPECT_EQ(a.size(), 300u);
+  EXPECT_EQ(b.size(), 200u);
+  // A's entities are distinct.
+  EXPECT_EQ(a.CountTrueMatchPairs(), 0u);
+  LinkageDataset link = MergeForLinkage(a, b);
+  uint64_t cross = CountCrossTrueMatches(link);
+  // ~50% of B's 200 records overlap A; sampling with replacement can
+  // create a few extra cross pairs for twice-sampled entities.
+  EXPECT_GT(cross, 60u);
+  EXPECT_LT(cross, 150u);
+}
+
+TEST(VoterLinkageEndToEndTest, LshLinkageFindsOverlap) {
+  data::VoterGeneratorConfig config;
+  config.seed = 18;
+  Dataset a;
+  Dataset b;
+  GenerateVoterLinkagePair(config, 800, 600, 0.4, &a, &b);
+  LinkageDataset link = MergeForLinkage(a, b);
+
+  LshParams p;
+  p.k = 4;
+  p.l = 12;
+  p.q = 2;
+  p.attributes = {"first_name", "last_name"};
+  BlockCollection all_blocks = LshBlocker(p).Run(link.merged);
+  BlockCollection cross = CrossSourceBlocks(all_blocks, link.boundary);
+
+  // Evaluate against cross-source ground truth.
+  uint64_t true_cross = CountCrossTrueMatches(link);
+  ASSERT_GT(true_cross, 0u);
+  PairSet pairs = cross.DistinctPairs();
+  uint64_t found = 0;
+  pairs.ForEach([&](uint32_t x, uint32_t y) {
+    if (link.merged.IsMatch(x, y)) ++found;
+  });
+  double pc = static_cast<double>(found) / static_cast<double>(true_cross);
+  EXPECT_GT(pc, 0.55);
+  // All emitted pairs are bipartite.
+  pairs.ForEach([&](uint32_t x, uint32_t y) {
+    EXPECT_NE(link.FromA(x), link.FromA(y));
+  });
+}
+
+}  // namespace
+}  // namespace sablock::core

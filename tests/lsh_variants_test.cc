@@ -1,0 +1,181 @@
+// Tests for the related-work LSH variants: multi-probe LSH and LSH forest
+// (Section 2 / DESIGN.md extension E13).
+
+#include <gtest/gtest.h>
+
+#include "core/lsh_variants.h"
+#include "core/minhash.h"
+#include "data/cora_generator.h"
+#include "eval/metrics.h"
+
+namespace sablock::core {
+namespace {
+
+using data::Dataset;
+using data::Schema;
+
+Dataset SmallTextDataset() {
+  Dataset d{Schema({"text"})};
+  d.Add({{"the cascade correlation learning architecture"}}, 0);
+  d.Add({{"the cascade correlation learning architecture"}}, 0);
+  d.Add({{"the cascade corelation learning architecture"}}, 0);
+  d.Add({{"support vector machines for text classification"}}, 1);
+  d.Add({{"support vector machine for text classification"}}, 1);
+  d.Add({{"completely unrelated gibberish record xyzzy"}}, 2);
+  return d;
+}
+
+LshParams SmallParams() {
+  LshParams p;
+  p.k = 3;
+  p.l = 4;
+  p.q = 3;
+  p.attributes = {"text"};
+  p.seed = 5;
+  return p;
+}
+
+TEST(Top2SignaturesTest, SecondMinIsDistinctAndLarger) {
+  Dataset d = SmallTextDataset();
+  std::vector<std::vector<uint64_t>> min1;
+  std::vector<std::vector<uint64_t>> min2;
+  ComputeTop2MinhashSignatures(d, SmallParams(), &min1, &min2);
+  ASSERT_EQ(min1.size(), d.size());
+  for (data::RecordId id = 0; id < d.size(); ++id) {
+    for (size_t i = 0; i < min1[id].size(); ++i) {
+      EXPECT_LT(min1[id][i], MinHasher::kEmptySlot);
+      if (min2[id][i] != MinHasher::kEmptySlot) {
+        EXPECT_LT(min1[id][i], min2[id][i]);
+      }
+    }
+  }
+}
+
+TEST(Top2SignaturesTest, Min1MatchesPlainSignature) {
+  Dataset d = SmallTextDataset();
+  LshParams p = SmallParams();
+  std::vector<std::vector<uint64_t>> min1;
+  std::vector<std::vector<uint64_t>> min2;
+  ComputeTop2MinhashSignatures(d, p, &min1, &min2);
+  std::vector<std::vector<uint64_t>> plain =
+      ComputeMinhashSignatures(d, p);
+  for (data::RecordId id = 0; id < d.size(); ++id) {
+    EXPECT_EQ(min1[id], plain[id]) << id;
+  }
+}
+
+TEST(MultiProbeLshTest, ZeroProbesEqualsPlainLsh) {
+  Dataset d = SmallTextDataset();
+  LshParams p = SmallParams();
+  PairSet plain = LshBlocker(p).Run(d).DistinctPairs();
+  PairSet mp = MultiProbeLshBlocker(p, 0).Run(d).DistinctPairs();
+  EXPECT_EQ(plain.size(), mp.size());
+  mp.ForEach([&plain](uint32_t a, uint32_t b) {
+    EXPECT_TRUE(plain.Contains(a, b));
+  });
+}
+
+TEST(MultiProbeLshTest, ProbingOnlyAddsCandidates) {
+  Dataset d = SmallTextDataset();
+  LshParams p = SmallParams();
+  size_t prev = LshBlocker(p).Run(d).DistinctPairs().size();
+  for (int probes : {1, 2, 3}) {
+    PairSet pairs = MultiProbeLshBlocker(p, probes).Run(d).DistinctPairs();
+    EXPECT_GE(pairs.size(), prev);
+    prev = pairs.size();
+  }
+}
+
+TEST(MultiProbeLshTest, IdenticalTextAlwaysCoBlocked) {
+  Dataset d = SmallTextDataset();
+  MultiProbeLshBlocker blocker(SmallParams(), 2);
+  EXPECT_TRUE(blocker.Run(d).InSameBlock(0, 1));
+}
+
+TEST(MultiProbeLshTest, RecallWithFewerTablesApproachesPlainLsh) {
+  // The variant's selling point: l/2 tables + probes ≈ recall of l tables.
+  data::CoraGeneratorConfig config;
+  config.num_entities = 30;
+  config.num_records = 250;
+  config.seed = 77;
+  Dataset d = GenerateCoraLike(config);
+
+  LshParams full = SmallParams();
+  full.attributes = {"authors", "title"};
+  full.k = 3;
+  full.l = 16;
+  LshParams half = full;
+  half.l = 8;
+
+  double pc_full =
+      eval::Evaluate(d, LshBlocker(full).Run(d)).pc;
+  double pc_half =
+      eval::Evaluate(d, LshBlocker(half).Run(d)).pc;
+  double pc_half_probed =
+      eval::Evaluate(d, MultiProbeLshBlocker(half, 3).Run(d)).pc;
+  EXPECT_GT(pc_half_probed, pc_half);
+  EXPECT_GE(pc_half_probed, pc_full - 0.05);
+}
+
+TEST(MultiProbeLshTest, NameEncodesParameters) {
+  EXPECT_EQ(MultiProbeLshBlocker(SmallParams(), 2).name(),
+            "MP-LSH(k=3,l=4,p=2)");
+}
+
+TEST(LshForestTest, IdenticalTextAlwaysCoBlocked) {
+  Dataset d = SmallTextDataset();
+  LshForestBlocker forest(SmallParams(), /*max_depth=*/8,
+                          /*max_block_size=*/3);
+  EXPECT_TRUE(forest.Run(d).InSameBlock(0, 1));
+}
+
+TEST(LshForestTest, BlocksRespectSizeCapExceptAtMaxDepth) {
+  data::CoraGeneratorConfig config;
+  config.num_entities = 20;
+  config.num_records = 200;
+  config.seed = 78;
+  Dataset d = GenerateCoraLike(config);
+  LshParams p = SmallParams();
+  p.attributes = {"authors", "title"};
+  const size_t cap = 10;
+  LshForestBlocker forest(p, /*max_depth=*/12, cap);
+  BlockCollection blocks = forest.Run(d);
+  // Oversized leaves can only occur when the full depth failed to split
+  // (identical signatures); they should be rare.
+  size_t oversized = 0;
+  for (const auto& b : blocks.blocks()) {
+    if (b.size() > cap) ++oversized;
+  }
+  EXPECT_LE(oversized, blocks.NumBlocks() / 5);
+  EXPECT_GT(blocks.NumBlocks(), 0u);
+}
+
+TEST(LshForestTest, SeparatesDissimilarRecords) {
+  Dataset d = SmallTextDataset();
+  LshForestBlocker forest(SmallParams(), 8, 3);
+  BlockCollection blocks = forest.Run(d);
+  EXPECT_FALSE(blocks.InSameBlock(0, 5));
+}
+
+TEST(LshForestTest, SelfTuningFindsClusters) {
+  // Near-duplicates should co-block without choosing any k.
+  Dataset d = SmallTextDataset();
+  LshForestBlocker forest(SmallParams(), 10, 3);
+  eval::Metrics m = eval::Evaluate(d, forest.Run(d));
+  EXPECT_GT(m.pc, 0.5);
+}
+
+TEST(LshForestTest, DeterministicAcrossRuns) {
+  Dataset d = SmallTextDataset();
+  LshForestBlocker forest(SmallParams(), 8, 3);
+  EXPECT_EQ(forest.Run(d).TotalComparisons(),
+            forest.Run(d).TotalComparisons());
+}
+
+TEST(LshForestTest, NameEncodesParameters) {
+  EXPECT_EQ(LshForestBlocker(SmallParams(), 8, 4).name(),
+            "LSHForest(l=4,d=8,max=4)");
+}
+
+}  // namespace
+}  // namespace sablock::core

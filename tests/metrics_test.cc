@@ -1,0 +1,130 @@
+// Tests for the evaluation measures PC, PQ, RR, FM (and PQ*, FM*).
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+
+namespace sablock::eval {
+namespace {
+
+using core::BlockCollection;
+using data::Dataset;
+using data::Schema;
+
+// 6 records: entities {0,0,0}, {1,1}, {2}. Ω_tp = 3 + 1 = 4, Ω = 15.
+Dataset LabeledDataset() {
+  Dataset d{Schema({"x"})};
+  for (int i = 0; i < 3; ++i) d.Add({{"a"}}, 0);
+  for (int i = 0; i < 2; ++i) d.Add({{"b"}}, 1);
+  d.Add({{"c"}}, 2);
+  return d;
+}
+
+TEST(MetricsTest, PerfectBlocking) {
+  Dataset d = LabeledDataset();
+  BlockCollection blocks;
+  blocks.Add({0, 1, 2});
+  blocks.Add({3, 4});
+  Metrics m = Evaluate(d, blocks);
+  EXPECT_DOUBLE_EQ(m.pc, 1.0);
+  EXPECT_DOUBLE_EQ(m.pq, 1.0);
+  EXPECT_DOUBLE_EQ(m.fm, 1.0);
+  EXPECT_EQ(m.true_pairs, 4u);
+  EXPECT_EQ(m.distinct_pairs, 4u);
+  EXPECT_NEAR(m.rr, 1.0 - 4.0 / 15.0, 1e-12);
+}
+
+TEST(MetricsTest, PartialBlocking) {
+  Dataset d = LabeledDataset();
+  BlockCollection blocks;
+  blocks.Add({0, 1, 5});  // catches true pair (0,1), adds false (0,5)(1,5)
+  Metrics m = Evaluate(d, blocks);
+  EXPECT_NEAR(m.pc, 1.0 / 4.0, 1e-12);
+  EXPECT_NEAR(m.pq, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.rr, 1.0 - 3.0 / 15.0, 1e-12);
+  EXPECT_NEAR(m.fm, HarmonicMean(m.pc, m.pq), 1e-12);
+}
+
+TEST(MetricsTest, EmptyBlockingIsAllZero) {
+  Dataset d = LabeledDataset();
+  Metrics m = Evaluate(d, BlockCollection{});
+  EXPECT_DOUBLE_EQ(m.pc, 0.0);
+  EXPECT_DOUBLE_EQ(m.pq, 0.0);
+  EXPECT_DOUBLE_EQ(m.fm, 0.0);
+  EXPECT_DOUBLE_EQ(m.rr, 1.0);
+}
+
+TEST(MetricsTest, PqStarCountsRedundantComparisons) {
+  Dataset d = LabeledDataset();
+  BlockCollection blocks;
+  blocks.Add({0, 1});
+  blocks.Add({0, 1});  // same pair again: Γm = 2, Γ = 1
+  Metrics m = Evaluate(d, blocks);
+  EXPECT_EQ(m.total_comparisons, 2u);
+  EXPECT_EQ(m.distinct_pairs, 1u);
+  EXPECT_DOUBLE_EQ(m.pq, 1.0);
+  EXPECT_DOUBLE_EQ(m.pq_star, 0.5);
+  EXPECT_GT(m.fm, m.fm_star);
+}
+
+TEST(MetricsTest, UnlabeledRecordsNeverCountAsMatches) {
+  Dataset d{Schema({"x"})};
+  d.Add({{"a"}}, data::kUnknownEntity);
+  d.Add({{"a"}}, data::kUnknownEntity);
+  BlockCollection blocks;
+  blocks.Add({0, 1});
+  Metrics m = Evaluate(d, blocks);
+  EXPECT_EQ(m.true_pairs, 0u);
+  EXPECT_EQ(m.ground_truth_pairs, 0u);
+  EXPECT_DOUBLE_EQ(m.pc, 0.0);
+}
+
+TEST(HarmonicMeanTest, Basics) {
+  EXPECT_DOUBLE_EQ(HarmonicMean(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(HarmonicMean(0.0, 1.0), 0.0);
+  EXPECT_NEAR(HarmonicMean(0.5, 1.0), 2.0 / 3.0, 1e-12);
+  // Harmonic mean is bounded by the smaller argument.
+  EXPECT_LE(HarmonicMean(0.2, 0.9), 0.9);
+  EXPECT_GE(HarmonicMean(0.2, 0.9), 0.2);
+}
+
+TEST(MetricsTest, SummaryContainsKeyFields) {
+  Dataset d = LabeledDataset();
+  BlockCollection blocks;
+  blocks.Add({0, 1});
+  Metrics m = Evaluate(d, blocks);
+  std::string s = Summary(m);
+  EXPECT_NE(s.find("PC="), std::string::npos);
+  EXPECT_NE(s.find("FM="), std::string::npos);
+  EXPECT_NE(s.find("pairs=1"), std::string::npos);
+}
+
+// Fig. 1 golden values: with the ground truth {r1,r2,r6}=e1, {r4,r5}=e2
+// (r3 its own entity), blocking B3 finds 3 of the 4 true pairs with only
+// 4 candidates; B1 finds 3 with 6 candidates.
+TEST(MetricsTest, Fig1QualityComparison) {
+  Dataset d{Schema({"x"})};
+  d.Add({{"r1"}}, 0);
+  d.Add({{"r2"}}, 0);
+  d.Add({{"r3"}}, 1);
+  d.Add({{"r4"}}, 2);
+  d.Add({{"r5"}}, 2);
+  d.Add({{"r6"}}, 0);
+
+  BlockCollection b1;
+  b1.Add({0, 1, 3, 5});
+  Metrics m1 = Evaluate(d, b1);
+
+  BlockCollection b3;
+  b3.Add({0, 1, 5});
+  b3.Add({3, 5});
+  Metrics m3 = Evaluate(d, b3);
+
+  EXPECT_EQ(m1.distinct_pairs, 6u);
+  EXPECT_EQ(m3.distinct_pairs, 4u);
+  EXPECT_GT(m3.pq, m1.pq);
+  EXPECT_GE(m3.rr, m1.rr);
+}
+
+}  // namespace
+}  // namespace sablock::eval

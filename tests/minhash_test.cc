@@ -1,0 +1,141 @@
+// Tests for the minhash family and shingler (Section 5.1 steps 1-2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/minhash.h"
+#include "text/qgram.h"
+
+namespace sablock::core {
+namespace {
+
+TEST(MinHasherTest, SignatureLengthAndDeterminism) {
+  MinHasher h(16, 7);
+  std::vector<uint64_t> shingles = {1, 2, 3, 4, 5};
+  std::vector<uint64_t> s1 = h.Signature(shingles);
+  std::vector<uint64_t> s2 = h.Signature(shingles);
+  EXPECT_EQ(s1.size(), 16u);
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(MinHasherTest, EmptyShingleSetIsSentinel) {
+  MinHasher h(8, 7);
+  std::vector<uint64_t> sig = h.Signature({});
+  for (uint64_t v : sig) EXPECT_EQ(v, MinHasher::kEmptySlot);
+}
+
+// Regression companion to UniversalHashTest.FullyReduced...: a non-empty
+// shingle set must never leave sentinel slots in its signature, otherwise
+// unrelated records collide on the sentinel rows.
+TEST(MinHasherTest, NonEmptySetsNeverProduceSentinelSlots) {
+  MinHasher h(135, 7);
+  std::vector<uint64_t> sig =
+      h.Signature(text::QGramHashes("marilyn flores", 2));
+  for (uint64_t v : sig) EXPECT_LT(v, MinHasher::kEmptySlot);
+}
+
+TEST(MinHasherTest, IdenticalSetsIdenticalSignatures) {
+  MinHasher h(32, 9);
+  std::vector<uint64_t> a = {10, 20, 30};
+  std::vector<uint64_t> b = {10, 20, 30};
+  EXPECT_EQ(h.Signature(a), h.Signature(b));
+  EXPECT_DOUBLE_EQ(MinHasher::EstimateJaccard(h.Signature(a), h.Signature(b)),
+                   1.0);
+}
+
+TEST(MinHasherTest, DisjointSetsRarelyAgree) {
+  MinHasher h(128, 11);
+  std::vector<uint64_t> a;
+  std::vector<uint64_t> b;
+  for (uint64_t i = 0; i < 50; ++i) {
+    a.push_back(i);
+    b.push_back(1000 + i);
+  }
+  double est = MinHasher::EstimateJaccard(h.Signature(a), h.Signature(b));
+  EXPECT_LT(est, 0.1);
+}
+
+TEST(MinHasherTest, EstimatesJaccardWithinTolerance) {
+  // Sets with known overlap: |A∩B| = 50, |A∪B| = 150 -> J = 1/3.
+  MinHasher h(512, 13);
+  std::vector<uint64_t> a;
+  std::vector<uint64_t> b;
+  for (uint64_t i = 0; i < 100; ++i) a.push_back(i);
+  for (uint64_t i = 50; i < 150; ++i) b.push_back(i);
+  double est = MinHasher::EstimateJaccard(h.Signature(a), h.Signature(b));
+  EXPECT_NEAR(est, 1.0 / 3.0, 0.08);
+}
+
+TEST(MinHasherTest, DifferentSeedsGiveDifferentFamilies) {
+  MinHasher h1(8, 1);
+  MinHasher h2(8, 2);
+  std::vector<uint64_t> shingles = {5, 6, 7};
+  EXPECT_NE(h1.Signature(shingles), h2.Signature(shingles));
+}
+
+TEST(ShinglerTest, UsesSelectedAttributesOnly) {
+  data::Dataset d{data::Schema({"a", "b"})};
+  d.Add({{"hello", "ignored"}});
+  d.Add({{"hello", "different"}});
+  Shingler s({"a"}, 3);
+  EXPECT_EQ(s.Shingles(d, 0), s.Shingles(d, 1));
+  Shingler s2({"a", "b"}, 3);
+  EXPECT_NE(s2.Shingles(d, 0), s2.Shingles(d, 1));
+}
+
+TEST(ShinglerTest, NormalizesBeforeShingling) {
+  data::Dataset d{data::Schema({"a"})};
+  d.Add({{"Cascade-Correlation"}});
+  d.Add({{"cascade correlation"}});
+  Shingler s({"a"}, 3);
+  EXPECT_EQ(s.Shingles(d, 0), s.Shingles(d, 1));
+}
+
+TEST(ShinglerTest, EmptyRecordHasNoShingles) {
+  data::Dataset d{data::Schema({"a"})};
+  d.Add({{""}});
+  Shingler s({"a"}, 3);
+  EXPECT_TRUE(s.Shingles(d, 0).empty());
+}
+
+TEST(ShinglerTest, ShingleAllMatchesIndividual) {
+  data::Dataset d{data::Schema({"a"})};
+  d.Add({{"one record"}});
+  d.Add({{"two records"}});
+  Shingler s({"a"}, 2);
+  auto all = s.ShingleAll(d);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], s.Shingles(d, 0));
+  EXPECT_EQ(all[1], s.Shingles(d, 1));
+}
+
+TEST(MinHasherTest, AgreementTracksJaccardAcrossSimilarities) {
+  // Sweep overlap levels and confirm the estimate is monotone-ish.
+  MinHasher h(256, 17);
+  std::vector<uint64_t> base;
+  for (uint64_t i = 0; i < 100; ++i) base.push_back(i);
+  double prev_est = 1.1;
+  for (int shift : {0, 20, 40, 60, 80}) {
+    std::vector<uint64_t> other;
+    for (uint64_t i = 0; i < 100; ++i) {
+      other.push_back(i + static_cast<uint64_t>(shift) * 10000);
+    }
+    // shift=0 -> identical; larger shift -> fully disjoint. Use partial
+    // overlap: first `100 - shift` elements shared.
+    other.resize(100);
+    for (int i = 0; i < 100 - shift; ++i) other[i] = base[i];
+    std::sort(other.begin(), other.end());
+    other.erase(std::unique(other.begin(), other.end()), other.end());
+    double est = MinHasher::EstimateJaccard(h.Signature(base),
+                                            h.Signature(other));
+    EXPECT_LE(est, prev_est + 0.12);
+    prev_est = est;
+  }
+}
+
+}  // namespace
+}  // namespace sablock::core

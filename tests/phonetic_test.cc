@@ -1,0 +1,67 @@
+// Tests for the phonetic encoders used in blocking keys.
+
+#include <gtest/gtest.h>
+
+#include "text/phonetic.h"
+
+namespace sablock::text {
+namespace {
+
+TEST(SoundexTest, ClassicTestVectors) {
+  EXPECT_EQ(Soundex("Robert"), "R163");
+  EXPECT_EQ(Soundex("Rupert"), "R163");
+  EXPECT_EQ(Soundex("Ashcraft"), "A261");  // H does not reset the digit
+  EXPECT_EQ(Soundex("Ashcroft"), "A261");
+  EXPECT_EQ(Soundex("Tymczak"), "T522");
+  EXPECT_EQ(Soundex("Pfister"), "P236");  // first-letter digit suppression
+  EXPECT_EQ(Soundex("Honeyman"), "H555");
+}
+
+TEST(SoundexTest, CaseAndNoiseInsensitive) {
+  EXPECT_EQ(Soundex("smith"), Soundex("SMITH"));
+  EXPECT_EQ(Soundex("o'brien"), Soundex("obrien"));
+}
+
+TEST(SoundexTest, PadsShortCodes) {
+  EXPECT_EQ(Soundex("Lee"), "L000");
+  EXPECT_EQ(Soundex("A"), "A000");
+}
+
+TEST(SoundexTest, EmptyInput) {
+  EXPECT_EQ(Soundex(""), "0000");
+  EXPECT_EQ(Soundex("123"), "0000");
+}
+
+TEST(SoundexTest, SimilarNamesCollide) {
+  EXPECT_EQ(Soundex("smith"), Soundex("smyth"));
+  EXPECT_EQ(Soundex("johnson"), Soundex("jonson"));
+}
+
+TEST(NysiisTest, StableAndNonEmpty) {
+  EXPECT_FALSE(Nysiis("smith").empty());
+  EXPECT_EQ(Nysiis("smith"), Nysiis("smith"));
+  EXPECT_EQ(Nysiis(""), "");
+}
+
+TEST(NysiisTest, KnownCollisions) {
+  // The canonical property: spelling variants of a name share a code.
+  // (Strict NYSIIS keeps smith/smyth apart — 'Y' is not a vowel — so the
+  // classic collision pairs are vowel and H variants.)
+  EXPECT_EQ(Nysiis("johnson"), Nysiis("jonson"));
+  EXPECT_EQ(Nysiis("catherine"), Nysiis("katherine"));
+}
+
+TEST(NysiisTest, PrefixTransformations) {
+  // MAC -> MCC and KN -> NN are applied before encoding.
+  EXPECT_EQ(Nysiis("macdonald")[0], 'M');
+  EXPECT_EQ(Nysiis("knight")[0], 'N');
+  EXPECT_EQ(Nysiis("phillip")[0], 'F');  // PH -> FF
+}
+
+TEST(NysiisTest, DistinguishesDifferentNames) {
+  EXPECT_NE(Nysiis("catherine"), Nysiis("cotroneo"));
+  EXPECT_NE(Nysiis("smith"), Nysiis("jones"));
+}
+
+}  // namespace
+}  // namespace sablock::text

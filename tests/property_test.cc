@@ -1,0 +1,260 @@
+// Parameterized property tests over randomized inputs: invariants of the
+// taxonomy similarity (Eqs. 3-5), semhash order preservation (Prop. 4.3),
+// minhash estimation, SA-LSH containment, and metric identities.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "common/random.h"
+#include "core/collision.h"
+#include "core/domains.h"
+#include "core/lsh_blocker.h"
+#include "core/semhash.h"
+#include "data/cora_generator.h"
+#include "data/voter_generator.h"
+#include "eval/metrics.h"
+
+namespace sablock::core {
+namespace {
+
+// ---------------------------------------------------------------------
+// Random taxonomy properties.
+
+Taxonomy RandomTaxonomy(uint64_t seed, int num_nodes) {
+  sablock::Rng rng(seed);
+  Taxonomy t;
+  t.AddConcept("n0");
+  for (int i = 1; i < num_nodes; ++i) {
+    ConceptId parent = static_cast<ConceptId>(rng.UniformIndex(i));
+    t.AddConcept("n" + std::to_string(i), parent);
+  }
+  t.Finalize();
+  return t;
+}
+
+class RandomTaxonomyProperties : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(RandomTaxonomyProperties, ConceptSimilarityAxioms) {
+  Taxonomy t = RandomTaxonomy(GetParam(), 40);
+  sablock::Rng rng(GetParam() ^ 0xabc);
+  for (int trial = 0; trial < 200; ++trial) {
+    ConceptId a = static_cast<ConceptId>(rng.UniformIndex(t.size()));
+    ConceptId b = static_cast<ConceptId>(rng.UniformIndex(t.size()));
+    double sim = t.ConceptSimilarity(a, b);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0);
+    EXPECT_NEAR(sim, t.ConceptSimilarity(b, a), 1e-15);  // symmetry
+    // Eq. 3 / Prop. 4.2 direction: unrelated concepts score 0.
+    if (!t.Subsumes(a, b) && !t.Subsumes(b, a)) {
+      EXPECT_DOUBLE_EQ(sim, 0.0);
+    } else {
+      EXPECT_GT(sim, 0.0);
+    }
+  }
+}
+
+TEST_P(RandomTaxonomyProperties, SiblingChildrenAreDisjoint) {
+  Taxonomy t = RandomTaxonomy(GetParam(), 40);
+  for (ConceptId c = 0; c < t.size(); ++c) {
+    const auto& kids = t.children(c);
+    for (size_t i = 0; i < kids.size(); ++i) {
+      for (size_t j = i + 1; j < kids.size(); ++j) {
+        EXPECT_DOUBLE_EQ(t.ConceptSimilarity(kids[i], kids[j]), 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(RandomTaxonomyProperties, Proposition41HoldsEverywhere) {
+  Taxonomy t = RandomTaxonomy(GetParam(), 40);
+  for (ConceptId c = 0; c < t.size(); ++c) {
+    if (t.IsLeaf(c)) continue;
+    std::vector<ConceptId> parent = {c};
+    EXPECT_DOUBLE_EQ(t.RecordSimilarity(parent, t.children(c)), 1.0);
+  }
+}
+
+TEST_P(RandomTaxonomyProperties, RecordSimilarityBoundsAndSymmetry) {
+  Taxonomy t = RandomTaxonomy(GetParam(), 30);
+  sablock::Rng rng(GetParam() ^ 0x123);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<ConceptId> z1;
+    std::vector<ConceptId> z2;
+    for (size_t i = 0; i < 1 + rng.UniformIndex(3); ++i) {
+      z1.push_back(static_cast<ConceptId>(rng.UniformIndex(t.size())));
+    }
+    for (size_t i = 0; i < 1 + rng.UniformIndex(3); ++i) {
+      z2.push_back(static_cast<ConceptId>(rng.UniformIndex(t.size())));
+    }
+    t.PruneToMostSpecific(&z1);
+    t.PruneToMostSpecific(&z2);
+    double sim = t.RecordSimilarity(z1, z2);
+    EXPECT_GE(sim, 0.0);
+    EXPECT_LE(sim, 1.0 + 1e-12);
+    EXPECT_NEAR(sim, t.RecordSimilarity(z2, z1), 1e-15);
+    // Identity on interpretations: simS(z, z) = 1.
+    EXPECT_NEAR(t.RecordSimilarity(z1, z1), 1.0, 1e-12);
+  }
+}
+
+// Proposition 4.3, strengthened: with Specificity enforced, the Jaccard of
+// semhash signatures *equals* the Eq. 5 record similarity.
+TEST_P(RandomTaxonomyProperties, SemhashJaccardEqualsRecordSimilarity) {
+  Taxonomy t = RandomTaxonomy(GetParam(), 30);
+  SemhashEncoder enc = SemhashEncoder::BuildFromAllLeaves(t);
+  sablock::Rng rng(GetParam() ^ 0x777);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<ConceptId> z1 = {
+        static_cast<ConceptId>(rng.UniformIndex(t.size())),
+        static_cast<ConceptId>(rng.UniformIndex(t.size()))};
+    std::vector<ConceptId> z2 = {
+        static_cast<ConceptId>(rng.UniformIndex(t.size())),
+        static_cast<ConceptId>(rng.UniformIndex(t.size()))};
+    t.PruneToMostSpecific(&z1);
+    t.PruneToMostSpecific(&z2);
+    SemSignature s1 = enc.Encode(t, z1);
+    SemSignature s2 = enc.Encode(t, z2);
+    EXPECT_NEAR(s1.Jaccard(s2), t.RecordSimilarity(z1, z2), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTaxonomyProperties,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// ---------------------------------------------------------------------
+// Minhash estimation across similarity levels.
+
+class MinhashAccuracy
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(MinhashAccuracy, EstimateTracksTrueJaccard) {
+  auto [overlap_pct, seed] = GetParam();
+  MinHasher hasher(384, seed);
+  std::vector<uint64_t> a;
+  std::vector<uint64_t> b;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) a.push_back(sablock::Mix64(i));
+  int shared = n * overlap_pct / 100;
+  for (int i = 0; i < shared; ++i) b.push_back(sablock::Mix64(i));
+  for (int i = shared; i < n; ++i) b.push_back(sablock::Mix64(i + 100000));
+  double true_jaccard =
+      static_cast<double>(shared) / static_cast<double>(2 * n - shared);
+  double est = MinHasher::EstimateJaccard(hasher.Signature(a),
+                                          hasher.Signature(b));
+  EXPECT_NEAR(est, true_jaccard, 0.09);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OverlapLevels, MinhashAccuracy,
+    ::testing::Combine(::testing::Values(0, 25, 50, 75, 100),
+                       ::testing::Values(11u, 22u)));
+
+// ---------------------------------------------------------------------
+// SA-LSH containment on generated data, across parameter settings.
+
+class SaLshContainment
+    : public ::testing::TestWithParam<std::tuple<int, SemanticMode>> {};
+
+TEST_P(SaLshContainment, CandidatesAreSubsetOfLsh) {
+  auto [w, mode] = GetParam();
+  data::CoraGeneratorConfig config;
+  config.num_entities = 25;
+  config.num_records = 150;
+  config.seed = 33;
+  data::Dataset d = GenerateCoraLike(config);
+  Domain domain = MakeBibliographicDomain();
+
+  LshParams p;
+  p.k = 2;
+  p.l = 10;
+  p.attributes = {"authors", "title"};
+  p.seed = 3;
+  PairSet lsh_pairs = LshBlocker(p).Run(d).DistinctPairs();
+
+  SemanticParams sp;
+  sp.w = w;
+  sp.mode = mode;
+  PairSet sa_pairs = SemanticAwareLshBlocker(p, sp, domain.semantics)
+                         .Run(d)
+                         .DistinctPairs();
+  EXPECT_LE(sa_pairs.size(), lsh_pairs.size());
+  sa_pairs.ForEach([&lsh_pairs](uint32_t a, uint32_t b) {
+    EXPECT_TRUE(lsh_pairs.Contains(a, b));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SaLshContainment,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5),
+                       ::testing::Values(SemanticMode::kAnd,
+                                         SemanticMode::kOr)));
+
+// ---------------------------------------------------------------------
+// Metric identities on generated voter data across blocking techniques.
+
+class MetricIdentities : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricIdentities, BoundsAndHarmonicMean) {
+  data::VoterGeneratorConfig config;
+  config.num_records = 400;
+  config.seed = static_cast<uint64_t>(GetParam());
+  data::Dataset d = GenerateVoterLike(config);
+
+  LshParams p;
+  p.k = 3;
+  p.l = 8;
+  p.q = 2;
+  p.attributes = {"first_name", "last_name"};
+  eval::Metrics m = eval::Evaluate(d, LshBlocker(p).Run(d));
+
+  for (double v : {m.pc, m.pq, m.rr, m.fm, m.pq_star, m.fm_star}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_NEAR(m.fm, eval::HarmonicMean(m.pc, m.pq), 1e-12);
+  EXPECT_NEAR(m.fm_star, eval::HarmonicMean(m.pc, m.pq_star), 1e-12);
+  EXPECT_LE(m.pq_star, m.pq + 1e-12);  // Γm >= Γ
+  EXPECT_LE(m.true_pairs, m.ground_truth_pairs);
+  EXPECT_LE(m.true_pairs, m.distinct_pairs);
+  EXPECT_EQ(m.all_pairs, d.TotalPairs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricIdentities,
+                         ::testing::Values(1, 2, 3));
+
+// ---------------------------------------------------------------------
+// Analytic vs empirical SA-LSH collision: the measured collision rate of
+// same-block placement for records with known textual/semantic similarity
+// should be in the ballpark of the closed-form model.
+
+TEST(CollisionModelValidation, EmpiricalMatchesAnalyticForIdenticalText) {
+  // Two records with identical text (s = 1) and identical semantics
+  // (s' = 1) must always collide; the model gives 1 - (1 - 1·1)^l = 1.
+  data::Dataset d{data::Schema({"title", "authors", "journal", "booktitle",
+                                "institution", "publisher", "year"})};
+  for (int i = 0; i < 2; ++i) {
+    d.Add({{"identical title text", "same author", "journal x", "", "", "",
+            ""}},
+          0);
+  }
+  Domain domain = MakeBibliographicDomain();
+  LshParams p;
+  p.k = 4;
+  p.l = 5;
+  p.attributes = {"authors", "title"};
+  SemanticParams sp;
+  sp.w = 1;
+  sp.mode = SemanticMode::kOr;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    p.seed = seed;
+    sp.seed = seed;
+    SemanticAwareLshBlocker blocker(p, sp, domain.semantics);
+    EXPECT_TRUE(blocker.Run(d).InSameBlock(0, 1)) << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sablock::core

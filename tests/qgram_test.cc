@@ -1,0 +1,73 @@
+// Tests for q-gram extraction and Jaccard over gram sets (the shingling
+// substrate of Section 5.1).
+
+#include <gtest/gtest.h>
+
+#include "text/qgram.h"
+
+namespace sablock::text {
+namespace {
+
+TEST(QGramsTest, UnpaddedBasic) {
+  std::vector<std::string> grams = QGrams("abcd", 2);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "ab");
+  EXPECT_EQ(grams[1], "bc");
+  EXPECT_EQ(grams[2], "cd");
+}
+
+TEST(QGramsTest, PaddedAddsFrame) {
+  std::vector<std::string> grams = QGrams("ab", 2, /*padded=*/true);
+  // "#ab$" -> "#a", "ab", "b$"
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "#a");
+  EXPECT_EQ(grams[1], "ab");
+  EXPECT_EQ(grams[2], "b$");
+}
+
+TEST(QGramsTest, ShortStringYieldsWholeString) {
+  std::vector<std::string> grams = QGrams("ab", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+}
+
+TEST(QGramsTest, EmptyAndDegenerate) {
+  EXPECT_TRUE(QGrams("", 2).empty());
+  EXPECT_TRUE(QGrams("abc", 0).empty());
+  EXPECT_FALSE(QGrams("", 2, /*padded=*/true).empty());  // frame only
+}
+
+TEST(QGramSetTest, SortedAndDeduplicated) {
+  std::vector<std::string> set = QGramSet("aaaa", 2);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set[0], "aa");
+}
+
+TEST(QGramHashesTest, MatchesSetSemantics) {
+  std::vector<uint64_t> h1 = QGramHashes("abcabc", 3);
+  // distinct 3-grams: abc, bca, cab -> 3 hashes
+  EXPECT_EQ(h1.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(h1.begin(), h1.end()));
+  EXPECT_TRUE(QGramHashes("", 3).empty());
+  EXPECT_EQ(QGramHashes("ab", 3).size(), 1u);  // short-string fallback
+}
+
+TEST(JaccardSortedTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSorted({"a", "b"}, {"a", "b"}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSorted({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSorted({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSorted({"a"}, {}), 0.0);
+  EXPECT_NEAR(JaccardSorted({"a", "b", "c"}, {"b", "c", "d"}), 0.5, 1e-12);
+}
+
+TEST(JaccardSortedHashesTest, AgreesWithStringJaccard) {
+  std::string a = "cascade correlation";
+  std::string b = "cascade corelation";
+  double via_hashes =
+      JaccardSortedHashes(QGramHashes(a, 3), QGramHashes(b, 3));
+  double via_strings = JaccardSorted(QGramSet(a, 3), QGramSet(b, 3));
+  EXPECT_NEAR(via_hashes, via_strings, 1e-12);
+}
+
+}  // namespace
+}  // namespace sablock::text

@@ -1,0 +1,93 @@
+// Tests for Schema / Record / Dataset.
+
+#include <gtest/gtest.h>
+
+#include "data/record.h"
+
+namespace sablock::data {
+namespace {
+
+Dataset TwoColumnDataset() {
+  Dataset d{Schema({"name", "city"})};
+  d.Add({{"alice", "berlin"}}, 0);
+  d.Add({{"alicia", "berlin"}}, 0);
+  d.Add({{"bob", "paris"}}, 1);
+  d.Add({{"carol", ""}}, kUnknownEntity);
+  return d;
+}
+
+TEST(SchemaTest, IndexLookup) {
+  Schema s({"a", "b", "c"});
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.IndexOf("a"), 0);
+  EXPECT_EQ(s.IndexOf("c"), 2);
+  EXPECT_EQ(s.IndexOf("missing"), -1);
+  EXPECT_EQ(s.RequireIndex("b"), 1u);
+}
+
+TEST(DatasetTest, AddAndAccess) {
+  Dataset d = TwoColumnDataset();
+  EXPECT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.Value(0, "name"), "alice");
+  EXPECT_EQ(d.Value(2, "city"), "paris");
+  EXPECT_EQ(d.Value(0, "missing_attr"), "");
+  EXPECT_EQ(d.entity(0), 0u);
+  EXPECT_EQ(d.entity(3), kUnknownEntity);
+}
+
+TEST(DatasetTest, IsMatchRequiresKnownEqualEntities) {
+  Dataset d = TwoColumnDataset();
+  EXPECT_TRUE(d.IsMatch(0, 1));
+  EXPECT_FALSE(d.IsMatch(0, 2));
+  EXPECT_FALSE(d.IsMatch(0, 3));  // unknown entity never matches
+  EXPECT_FALSE(d.IsMatch(3, 3));
+}
+
+TEST(DatasetTest, ConcatenatedValuesNormalizes) {
+  Dataset d{Schema({"x", "y"})};
+  d.Add({{"Foo-Bar", "BAZ!"}});
+  EXPECT_EQ(d.ConcatenatedValues(0, {"x", "y"}), "foo bar baz");
+  EXPECT_EQ(d.ConcatenatedValues(0, {"y"}), "baz");
+  EXPECT_EQ(d.ConcatenatedValues(0, {"missing"}), "");
+}
+
+TEST(DatasetTest, ConcatenatedValuesSkipsEmpty) {
+  Dataset d{Schema({"x", "y"})};
+  d.Add({{"", "b"}});
+  EXPECT_EQ(d.ConcatenatedValues(0, {"x", "y"}), "b");
+}
+
+TEST(DatasetTest, CountTrueMatchPairs) {
+  Dataset d = TwoColumnDataset();
+  // Cluster sizes: {2, 1, 1-unknown} -> 1 pair.
+  EXPECT_EQ(d.CountTrueMatchPairs(), 1u);
+  EXPECT_EQ(d.TotalPairs(), 6u);
+}
+
+TEST(DatasetTest, CountTrueMatchPairsLargerClusters) {
+  Dataset d{Schema({"a"})};
+  for (int i = 0; i < 4; ++i) d.Add({{"x"}}, 7);
+  for (int i = 0; i < 3; ++i) d.Add({{"y"}}, 8);
+  EXPECT_EQ(d.CountTrueMatchPairs(), 6u + 3u);
+}
+
+TEST(DatasetTest, PrefixSubset) {
+  Dataset d = TwoColumnDataset();
+  Dataset p = d.Prefix(2);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.Value(1, "name"), "alicia");
+  EXPECT_EQ(p.entity(1), 0u);
+  // Prefix larger than the dataset is the whole dataset.
+  EXPECT_EQ(d.Prefix(100).size(), 4u);
+  EXPECT_EQ(d.Prefix(0).size(), 0u);
+}
+
+TEST(DatasetTest, EmptyDataset) {
+  Dataset d{Schema({"a"})};
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.CountTrueMatchPairs(), 0u);
+  EXPECT_EQ(d.TotalPairs(), 0u);
+}
+
+}  // namespace
+}  // namespace sablock::data

@@ -1,0 +1,204 @@
+// Tests for semhash signatures (Algorithm 1) and Proposition 4.3.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/semhash.h"
+#include "core/taxonomy.h"
+
+namespace sablock::core {
+namespace {
+
+TEST(SemSignatureTest, SetGetPopCount) {
+  SemSignature sig(70);  // spans two words
+  EXPECT_EQ(sig.PopCount(), 0u);
+  sig.Set(0);
+  sig.Set(63);
+  sig.Set(64);
+  sig.Set(69);
+  EXPECT_TRUE(sig.Get(0));
+  EXPECT_TRUE(sig.Get(69));
+  EXPECT_FALSE(sig.Get(1));
+  EXPECT_EQ(sig.PopCount(), 4u);
+}
+
+TEST(SemSignatureTest, JaccardAndAndCount) {
+  SemSignature a(8);
+  SemSignature b(8);
+  a.Set(0);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  EXPECT_EQ(a.AndCount(b), 1u);
+  EXPECT_NEAR(a.Jaccard(b), 0.25, 1e-12);  // 1 shared / 4 in union
+  SemSignature zero(8);
+  EXPECT_DOUBLE_EQ(zero.Jaccard(zero), 1.0);  // empty-set convention
+  EXPECT_DOUBLE_EQ(zero.Jaccard(a), 0.0);
+}
+
+TEST(SemhashEncoderTest, BuildSelectsOnlyReachableLeaves) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  // Records only interpret to C2 (leaves C3, C4, C5) and C9.
+  std::vector<std::vector<ConceptId>> zetas = {
+      {t.Require("C2")},
+      {t.Require("C9")},
+  };
+  SemhashEncoder enc = SemhashEncoder::Build(t, zetas);
+  EXPECT_EQ(enc.dimension(), 4u);  // C3, C4, C5, C9 (C7, C8 unreachable)
+}
+
+TEST(SemhashEncoderTest, FiveBitCoraSignatures) {
+  // The paper's Cora setup yields 5-bit signatures: Table 1 reaches C3, C4,
+  // C7, C8 directly and C1 covers C5 as well — but never C9.
+  Taxonomy t = MakeBibliographicTaxonomy();
+  std::vector<std::vector<ConceptId>> zetas = {
+      {t.Require("C3"), t.Require("C4"), t.Require("C6")},
+      {t.Require("C1")},
+      {t.Require("C7"), t.Require("C8")},
+  };
+  SemhashEncoder enc = SemhashEncoder::Build(t, zetas);
+  EXPECT_EQ(enc.dimension(), 5u);
+}
+
+TEST(SemhashEncoderTest, EncodeSetsBitsUnderConcepts) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  SemhashEncoder enc = SemhashEncoder::BuildFromAllLeaves(t);
+  ASSERT_EQ(enc.dimension(), 6u);
+
+  SemSignature journal = enc.Encode(t, {t.Require("C3")});
+  EXPECT_EQ(journal.PopCount(), 1u);
+
+  SemSignature peer = enc.Encode(t, {t.Require("C2")});
+  EXPECT_EQ(peer.PopCount(), 3u);
+
+  SemSignature root = enc.Encode(t, {t.Require("C0")});
+  EXPECT_EQ(root.PopCount(), 6u);
+
+  SemSignature empty = enc.Encode(t, {});
+  EXPECT_EQ(empty.PopCount(), 0u);
+}
+
+TEST(SemhashEncoderTest, SignatureJaccardTracksSubsumption) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  SemhashEncoder enc = SemhashEncoder::BuildFromAllLeaves(t);
+  SemSignature c2 = enc.Encode(t, {t.Require("C2")});
+  SemSignature c3 = enc.Encode(t, {t.Require("C3")});
+  SemSignature c6 = enc.Encode(t, {t.Require("C6")});
+  // Jaccard(G(C2-record), G(C3-record)) = 1/3 and C2 vs C6 are disjoint.
+  EXPECT_NEAR(c2.Jaccard(c3), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c2.Jaccard(c6), 0.0);
+}
+
+// Proposition 4.3: the Jaccard order of semhash signatures agrees with the
+// semantic-similarity order of the underlying records.
+TEST(SemhashEncoderTest, Proposition43OrderPreservation) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  SemhashEncoder enc = SemhashEncoder::BuildFromAllLeaves(t);
+
+  const std::vector<std::vector<ConceptId>> zetas = {
+      {t.Require("C4")},
+      {t.Require("C3"), t.Require("C4")},
+      {t.Require("C0")},
+      {t.Require("C7")},
+      {t.Require("C2")},
+      {t.Require("C1")},
+  };
+  std::vector<SemSignature> sigs;
+  for (const auto& z : zetas) sigs.push_back(enc.Encode(t, z));
+
+  for (size_t a = 0; a < zetas.size(); ++a) {
+    for (size_t b = 0; b < zetas.size(); ++b) {
+      for (size_t c = 0; c < zetas.size(); ++c) {
+        for (size_t d = 0; d < zetas.size(); ++d) {
+          double sim_ab = t.RecordSimilarity(zetas[a], zetas[b]);
+          double sim_cd = t.RecordSimilarity(zetas[c], zetas[d]);
+          double jac_ab = sigs[a].Jaccard(sigs[b]);
+          double jac_cd = sigs[c].Jaccard(sigs[d]);
+          if (sim_ab > sim_cd + 1e-12) {
+            EXPECT_GE(jac_ab, jac_cd - 1e-12)
+                << "a=" << a << " b=" << b << " c=" << c << " d=" << d;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SemhashEncoderTest, EncodeAllMatchesIndividualEncodes) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  std::vector<std::vector<ConceptId>> zetas = {
+      {t.Require("C3")}, {t.Require("C2")}, {}};
+  SemhashEncoder enc = SemhashEncoder::Build(t, zetas);
+  std::vector<SemSignature> all = enc.EncodeAll(t, zetas);
+  ASSERT_EQ(all.size(), 3u);
+  for (size_t i = 0; i < zetas.size(); ++i) {
+    EXPECT_EQ(all[i].words(), enc.Encode(t, zetas[i]).words());
+  }
+}
+
+TEST(SemhashEncoderTest, FeatureConceptsAreLeaves) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  SemhashEncoder enc = SemhashEncoder::BuildFromAllLeaves(t);
+  for (uint32_t i = 0; i < enc.dimension(); ++i) {
+    EXPECT_TRUE(t.IsLeaf(enc.FeatureConcept(i)));
+  }
+}
+
+TEST(CompressedSemhashTest, CompressionLengthAndDeterminism) {
+  CompressedSemhash c(16, 9);
+  SemSignature sig(40);
+  sig.Set(3);
+  sig.Set(17);
+  std::vector<uint64_t> a = c.Compress(sig);
+  std::vector<uint64_t> b = c.Compress(sig);
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CompressedSemhashTest, AllZeroSignatureIsSentinel) {
+  CompressedSemhash c(8, 9);
+  SemSignature zero(16);
+  for (uint64_t v : c.Compress(zero)) {
+    EXPECT_EQ(v, sablock::UniversalHash::kPrime);
+  }
+}
+
+TEST(CompressedSemhashTest, EstimatePreservesSignatureJaccard) {
+  // Section 4.4's optional combination: minhash over semhash bits should
+  // approximate the bit-level Jaccard (and hence the Eq. 5 similarity).
+  CompressedSemhash c(512, 9);
+  const uint32_t dim = 200;
+  SemSignature a(dim);
+  SemSignature b(dim);
+  for (uint32_t i = 0; i < 100; ++i) a.Set(i);
+  for (uint32_t i = 50; i < 150; ++i) b.Set(i);
+  double true_jaccard = a.Jaccard(b);  // 50 / 150 = 1/3
+  double est =
+      CompressedSemhash::EstimateJaccard(c.Compress(a), c.Compress(b));
+  EXPECT_NEAR(est, true_jaccard, 0.08);
+}
+
+TEST(CompressedSemhashTest, IdenticalSignaturesFullyAgree) {
+  CompressedSemhash c(64, 9);
+  SemSignature a(30);
+  a.Set(1);
+  a.Set(29);
+  SemSignature b(30);
+  b.Set(1);
+  b.Set(29);
+  EXPECT_DOUBLE_EQ(
+      CompressedSemhash::EstimateJaccard(c.Compress(a), c.Compress(b)),
+      1.0);
+}
+
+TEST(SemhashEncoderTest, EmptyInterpretationsGiveZeroDimension) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  std::vector<std::vector<ConceptId>> zetas = {{}, {}};
+  SemhashEncoder enc = SemhashEncoder::Build(t, zetas);
+  EXPECT_EQ(enc.dimension(), 0u);
+}
+
+}  // namespace
+}  // namespace sablock::core

@@ -1,0 +1,249 @@
+// Tests for taxonomy trees and concept/record semantic similarity,
+// including every worked example of Section 4 as golden values.
+
+#include <gtest/gtest.h>
+
+#include "core/taxonomy.h"
+
+namespace sablock::core {
+namespace {
+
+TEST(TaxonomyTest, BibliographicStructure) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  EXPECT_EQ(t.size(), 10u);
+  EXPECT_EQ(t.TotalLeaves(), 6u);  // C3, C4, C5, C7, C8, C9
+  EXPECT_TRUE(t.IsLeaf(t.Require("C3")));
+  EXPECT_FALSE(t.IsLeaf(t.Require("C2")));
+  EXPECT_EQ(t.parent(t.Require("C3")), t.Require("C2"));
+  EXPECT_EQ(t.children(t.Require("C2")).size(), 3u);
+}
+
+TEST(TaxonomyTest, FindAndRequire) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  EXPECT_NE(t.Find("C0"), kInvalidConcept);
+  EXPECT_EQ(t.Find("nope"), kInvalidConcept);
+  EXPECT_EQ(t.name(t.Require("C7")), "C7");
+}
+
+TEST(TaxonomyTest, SubsumptionIsReflexiveAndTransitive) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  ConceptId c0 = t.Require("C0");
+  ConceptId c1 = t.Require("C1");
+  ConceptId c2 = t.Require("C2");
+  ConceptId c3 = t.Require("C3");
+  ConceptId c9 = t.Require("C9");
+  EXPECT_TRUE(t.Subsumes(c3, c3));
+  EXPECT_TRUE(t.Subsumes(c2, c3));
+  EXPECT_TRUE(t.Subsumes(c1, c3));
+  EXPECT_TRUE(t.Subsumes(c0, c3));
+  EXPECT_FALSE(t.Subsumes(c3, c2));
+  EXPECT_FALSE(t.Subsumes(c2, c9));
+  EXPECT_FALSE(t.Subsumes(c9, c2));
+}
+
+TEST(TaxonomyTest, LeafCounts) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  EXPECT_EQ(t.LeafCount(t.Require("C0")), 6u);
+  EXPECT_EQ(t.LeafCount(t.Require("C1")), 5u);
+  EXPECT_EQ(t.LeafCount(t.Require("C2")), 3u);
+  EXPECT_EQ(t.LeafCount(t.Require("C6")), 2u);
+  EXPECT_EQ(t.LeafCount(t.Require("C3")), 1u);
+  EXPECT_EQ(t.LeafCount(t.Require("C9")), 1u);
+}
+
+// Example 4.4: simS(c0,c1)=5/6, simS(c1,c2)=3/5, simS(c0,c4)=1/6,
+// simS(c2,c6)=0.
+TEST(TaxonomyTest, Example44ConceptSimilarities) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  EXPECT_NEAR(t.ConceptSimilarity(t.Require("C0"), t.Require("C1")),
+              5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(t.ConceptSimilarity(t.Require("C1"), t.Require("C2")),
+              3.0 / 5.0, 1e-12);
+  EXPECT_NEAR(t.ConceptSimilarity(t.Require("C0"), t.Require("C4")),
+              1.0 / 6.0, 1e-12);
+  EXPECT_DOUBLE_EQ(t.ConceptSimilarity(t.Require("C2"), t.Require("C6")),
+                   0.0);
+}
+
+// Eq. 3: sibling concepts have similarity 0 (Example 4.3: journal vs book).
+TEST(TaxonomyTest, SiblingsHaveZeroSimilarity) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  EXPECT_DOUBLE_EQ(t.ConceptSimilarity(t.Require("C3"), t.Require("C5")),
+                   0.0);
+  EXPECT_DOUBLE_EQ(t.ConceptSimilarity(t.Require("C7"), t.Require("C8")),
+                   0.0);
+  EXPECT_DOUBLE_EQ(t.ConceptSimilarity(t.Require("C1"), t.Require("C9")),
+                   0.0);
+}
+
+// Subsumption monotonicity stated below Eq. 4: for c3 ⪯ c2 ⪯ c1,
+// simS(c1,c3) <= simS(c2,c3) and simS(c1,c3) <= simS(c1,c2).
+TEST(TaxonomyTest, SimilarityMonotoneAlongChains) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  ConceptId chain[] = {t.Require("C0"), t.Require("C1"), t.Require("C2"),
+                       t.Require("C3")};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      for (int k = j; k < 4; ++k) {
+        // chain[k] ⪯ chain[j] ⪯ chain[i]
+        EXPECT_LE(t.ConceptSimilarity(chain[i], chain[k]),
+                  t.ConceptSimilarity(chain[j], chain[k]) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(TaxonomyTest, SelfSimilarityIsOne) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  for (const char* name : {"C0", "C1", "C2", "C3", "C9"}) {
+    ConceptId c = t.Require(name);
+    EXPECT_DOUBLE_EQ(t.ConceptSimilarity(c, c), 1.0) << name;
+  }
+}
+
+// Example 4.5 record similarities with ζ(r1)={c4}, ζ(r2)={c3,c4},
+// ζ(r3)={c4}, ζ(r5)={c7}, ζ(r6)={c0}.
+TEST(TaxonomyTest, Example45RecordSimilarities) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  std::vector<ConceptId> r1 = {t.Require("C4")};
+  std::vector<ConceptId> r2 = {t.Require("C3"), t.Require("C4")};
+  std::vector<ConceptId> r3 = {t.Require("C4")};
+  std::vector<ConceptId> r5 = {t.Require("C7")};
+  std::vector<ConceptId> r6 = {t.Require("C0")};
+
+  EXPECT_NEAR(t.RecordSimilarity(r1, r2), 0.5, 1e-12);
+  EXPECT_NEAR(t.RecordSimilarity(r3, r2), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(t.RecordSimilarity(r1, r3), 1.0);
+  EXPECT_DOUBLE_EQ(t.RecordSimilarity(r1, r5), 0.0);
+  EXPECT_NEAR(t.RecordSimilarity(r2, r6), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(t.RecordSimilarity(r1, r6), 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(t.RecordSimilarity(r5, r6), 1.0 / 6.0, 1e-12);
+}
+
+// Proposition 4.1: ζ(r1)={c}, ζ(r2)=child(c) ⇒ simS(r1,r2)=1.
+TEST(TaxonomyTest, Proposition41ChildCoverEqualsParent) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  std::vector<ConceptId> parent = {t.Require("C2")};
+  std::vector<ConceptId> children = {t.Require("C3"), t.Require("C4"),
+                                     t.Require("C5")};
+  EXPECT_DOUBLE_EQ(t.RecordSimilarity(parent, children), 1.0);
+
+  std::vector<ConceptId> pub = {t.Require("C1")};
+  std::vector<ConceptId> pub_children = {t.Require("C2"), t.Require("C6")};
+  EXPECT_DOUBLE_EQ(t.RecordSimilarity(pub, pub_children), 1.0);
+}
+
+// Proposition 4.2: simS(r1,r2)=0 iff no related concept pairs.
+TEST(TaxonomyTest, Proposition42ZeroIffUnrelated) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  std::vector<ConceptId> journal = {t.Require("C3")};
+  std::vector<ConceptId> proceedings = {t.Require("C4")};
+  std::vector<ConceptId> patent = {t.Require("C9")};
+  std::vector<ConceptId> peer = {t.Require("C2")};
+  EXPECT_DOUBLE_EQ(t.RecordSimilarity(journal, proceedings), 0.0);
+  EXPECT_DOUBLE_EQ(t.RecordSimilarity(journal, patent), 0.0);
+  EXPECT_GT(t.RecordSimilarity(journal, peer), 0.0);
+}
+
+TEST(TaxonomyTest, RecordSimilarityEmptyInterpretation) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  std::vector<ConceptId> empty;
+  std::vector<ConceptId> journal = {t.Require("C3")};
+  EXPECT_DOUBLE_EQ(t.RecordSimilarity(empty, journal), 0.0);
+  EXPECT_DOUBLE_EQ(t.RecordSimilarity(empty, empty), 0.0);
+}
+
+TEST(TaxonomyTest, PruneToMostSpecific) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  std::vector<ConceptId> concepts = {t.Require("C0"), t.Require("C3"),
+                                     t.Require("C2"), t.Require("C9")};
+  t.PruneToMostSpecific(&concepts);
+  // C0 subsumes everything, C2 subsumes C3: only C3 and C9 survive.
+  ASSERT_EQ(concepts.size(), 2u);
+  EXPECT_EQ(concepts[0], t.Require("C3"));
+  EXPECT_EQ(concepts[1], t.Require("C9"));
+}
+
+TEST(TaxonomyTest, PruneDeduplicates) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  std::vector<ConceptId> concepts = {t.Require("C3"), t.Require("C3")};
+  t.PruneToMostSpecific(&concepts);
+  EXPECT_EQ(concepts.size(), 1u);
+}
+
+TEST(TaxonomyTest, CoveredLeafCountMergesOverlaps) {
+  Taxonomy t = MakeBibliographicTaxonomy();
+  EXPECT_EQ(t.CoveredLeafCount({t.Require("C1"), t.Require("C2")}), 5u);
+  EXPECT_EQ(t.CoveredLeafCount({t.Require("C3"), t.Require("C9")}), 2u);
+  EXPECT_EQ(t.CoveredLeafCount({t.Require("C0")}), 6u);
+  EXPECT_EQ(t.CoveredLeafCount({}), 0u);
+}
+
+TEST(TaxonomyTest, ForestOfTwoTrees) {
+  Taxonomy t;
+  ConceptId a = t.AddConcept("a");
+  t.AddConcept("a1", a);
+  t.AddConcept("a2", a);
+  ConceptId b = t.AddConcept("b");
+  t.AddConcept("b1", b);
+  t.Finalize();
+  EXPECT_EQ(t.roots().size(), 2u);
+  EXPECT_EQ(t.TotalLeaves(), 3u);
+  // Cross-tree concepts are unrelated.
+  EXPECT_DOUBLE_EQ(t.ConceptSimilarity(a, b), 0.0);
+  EXPECT_FALSE(t.Subsumes(a, b));
+  EXPECT_FALSE(t.Subsumes(b, t.Require("a1")));
+}
+
+TEST(TaxonomyTest, SingleNodeTaxonomy) {
+  Taxonomy t;
+  ConceptId only = t.AddConcept("only");
+  t.Finalize();
+  EXPECT_EQ(t.TotalLeaves(), 1u);
+  EXPECT_EQ(t.LeafCount(only), 1u);
+  EXPECT_DOUBLE_EQ(t.ConceptSimilarity(only, only), 1.0);
+}
+
+TEST(TaxonomyTest, ChainTaxonomyNodesShareLeafButDiffer) {
+  // root -> mid -> leaf: all three have the same (single) leaf set, but
+  // subsumption must still be directional.
+  Taxonomy t;
+  ConceptId root = t.AddConcept("root");
+  ConceptId mid = t.AddConcept("mid", root);
+  ConceptId leaf = t.AddConcept("leaf", mid);
+  t.Finalize();
+  EXPECT_EQ(t.LeafCount(root), 1u);
+  EXPECT_DOUBLE_EQ(t.ConceptSimilarity(root, leaf), 1.0);
+  EXPECT_TRUE(t.Subsumes(root, leaf));
+  EXPECT_FALSE(t.Subsumes(leaf, root));
+  EXPECT_TRUE(t.Subsumes(mid, leaf));
+}
+
+TEST(TaxonomyTest, VariantsHaveExpectedLeafCounts) {
+  EXPECT_EQ(MakeBibliographicTaxonomyNoReviewLevel().TotalLeaves(), 6u);
+  EXPECT_EQ(MakeBibliographicTaxonomyNoBook().TotalLeaves(), 5u);
+  EXPECT_EQ(MakeBibliographicTaxonomyNoJournal().TotalLeaves(), 5u);
+  EXPECT_EQ(MakeBibliographicTaxonomyNoBook().Find("C5"), kInvalidConcept);
+  EXPECT_EQ(MakeBibliographicTaxonomyNoJournal().Find("C3"),
+            kInvalidConcept);
+}
+
+TEST(TaxonomyDeathTest, QueriesBeforeFinalizeAbort) {
+  Taxonomy t;
+  ConceptId a = t.AddConcept("a");
+  EXPECT_DEATH(t.Subsumes(a, a), "Finalize");
+}
+
+TEST(TaxonomyDeathTest, DuplicateNameAborts) {
+  Taxonomy t;
+  t.AddConcept("a");
+  EXPECT_DEATH(t.AddConcept("a"), "duplicate");
+}
+
+TEST(TaxonomyDeathTest, EmptyFinalizeAborts) {
+  Taxonomy t;
+  EXPECT_DEATH(t.Finalize(), "empty");
+}
+
+}  // namespace
+}  // namespace sablock::core

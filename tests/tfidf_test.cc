@@ -1,0 +1,71 @@
+// Tests for the TF-IDF vectorizer backing the canopy baselines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/tfidf.h"
+
+namespace sablock::text {
+namespace {
+
+TEST(TfIdfTest, VocabularyAndDimensions) {
+  TfIdfVectorizer v;
+  v.Build({"a b c", "a b", "a"});
+  EXPECT_EQ(v.vocabulary_size(), 3u);
+}
+
+TEST(TfIdfTest, VectorsAreL2Normalized) {
+  TfIdfVectorizer v;
+  v.Build({"alpha beta gamma", "alpha beta", "delta"});
+  SparseVector s = v.Vectorize("alpha beta gamma");
+  double norm = 0.0;
+  for (const auto& [term, w] : s.entries) norm += w * w;
+  EXPECT_NEAR(norm, 1.0, 1e-6);
+}
+
+TEST(TfIdfTest, IdenticalDocumentsHaveCosineOne) {
+  TfIdfVectorizer v;
+  v.Build({"x y z", "x q"});
+  SparseVector a = v.Vectorize("x y z");
+  SparseVector b = v.Vectorize("x y z");
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0, 1e-6);
+}
+
+TEST(TfIdfTest, DisjointDocumentsHaveCosineZero) {
+  TfIdfVectorizer v;
+  v.Build({"x y", "p q"});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(v.Vectorize("x y"), v.Vectorize("p q")),
+                   0.0);
+}
+
+TEST(TfIdfTest, RareTermsDominate) {
+  // "common" appears everywhere, "rare" once: two documents sharing only
+  // "rare" should be closer than two sharing only "common".
+  TfIdfVectorizer v;
+  v.Build({"common rare", "common other1", "common other2", "common other3"});
+  double share_rare = CosineSimilarity(v.Vectorize("rare x"),
+                                       v.Vectorize("rare y"));
+  double share_common = CosineSimilarity(v.Vectorize("common x"),
+                                         v.Vectorize("common y"));
+  EXPECT_GT(share_rare, 0.0);
+  EXPECT_GE(share_rare, share_common);
+}
+
+TEST(TfIdfTest, UnknownTermsAreDropped) {
+  TfIdfVectorizer v;
+  v.Build({"a b"});
+  SparseVector s = v.Vectorize("zzz yyy");
+  EXPECT_TRUE(s.entries.empty());
+}
+
+TEST(TfIdfTest, EmptyDocument) {
+  TfIdfVectorizer v;
+  v.Build({"a b"});
+  SparseVector s = v.Vectorize("");
+  EXPECT_TRUE(s.entries.empty());
+  EXPECT_DOUBLE_EQ(CosineSimilarity(s, v.Vectorize("a")), 0.0);
+}
+
+}  // namespace
+}  // namespace sablock::text
