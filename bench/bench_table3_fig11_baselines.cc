@@ -1,7 +1,9 @@
 // Experiment E8 — Table 3 + Fig. 11: the 12 state-of-the-art baselines vs
 // LSH and SA-LSH on both datasets. Every technique is swept over its
 // Section 6.3.4 parameter grid; the best-FM setting is reported with its
-// PC / PQ / RR / FM, block-building time and candidate-pair count.
+// PC / PQ / RR / FM, block-building time and candidate-pair count. All
+// settings — including LSH and SA-LSH — are built from registry spec
+// strings.
 
 #include <cstdio>
 #include <memory>
@@ -10,68 +12,50 @@
 
 #include "bench_util.h"
 #include "common/string_util.h"
-#include "core/domains.h"
-#include "core/lsh_blocker.h"
 #include "eval/harness.h"
 
 namespace {
 
 using sablock::FormatDouble;
 using sablock::bench::TechniqueGrid;
-using sablock::core::LshBlocker;
-using sablock::core::LshParams;
-using sablock::core::SemanticAwareLshBlocker;
-using sablock::core::SemanticMode;
-using sablock::core::SemanticParams;
+
+void AddResultRow(sablock::eval::TablePrinter& table,
+                  const std::string& family,
+                  const sablock::eval::TechniqueResult& r,
+                  size_t num_settings) {
+  table.AddRow({family, r.name, std::to_string(num_settings),
+                FormatDouble(r.metrics.pc, 4), FormatDouble(r.metrics.pq, 4),
+                FormatDouble(r.metrics.rr, 4), FormatDouble(r.metrics.fm, 4),
+                std::to_string(r.metrics.distinct_pairs),
+                FormatDouble(r.seconds, 4)});
+}
 
 void RunDataset(const char* title, const sablock::data::Dataset& d,
-                const sablock::baselines::BlockingKeyDef& key,
-                const LshParams& lsh_params,
-                const sablock::core::Domain& domain, int full_width) {
+                const std::string& attrs, const std::string& lsh_spec,
+                const std::string& salsh_spec) {
   std::printf("%s (%zu records)\n", title, d.size());
   sablock::eval::TablePrinter table(
       {"technique", "best setting", "#set", "PC", "PQ", "RR", "FM",
        "pairs", "time(s)"});
 
   size_t total_settings = 0;
-  for (TechniqueGrid& grid : sablock::bench::BuildBaselineGrids(key)) {
+  for (TechniqueGrid& grid : sablock::bench::BuildBaselineGrids(attrs)) {
     std::vector<sablock::eval::TechniqueResult> results =
         sablock::eval::RunAll(grid.settings, d);
     total_settings += results.size();
     size_t best = sablock::eval::BestByFm(results);
-    const sablock::eval::TechniqueResult& r = results[best];
-    table.AddRow({grid.family, r.name, std::to_string(results.size()),
-                  FormatDouble(r.metrics.pc, 4),
-                  FormatDouble(r.metrics.pq, 4),
-                  FormatDouble(r.metrics.rr, 4),
-                  FormatDouble(r.metrics.fm, 4),
-                  std::to_string(r.metrics.distinct_pairs),
-                  FormatDouble(r.seconds, 4)});
+    AddResultRow(table, grid.family, results[best], results.size());
   }
 
-  sablock::eval::TechniqueResult lsh =
-      sablock::eval::RunTechnique(LshBlocker(lsh_params), d);
+  sablock::eval::TechniqueResult lsh = sablock::eval::RunTechnique(
+      *sablock::bench::FromSpec(lsh_spec), d);
   total_settings += 1;
-  table.AddRow({"LSH", lsh.name, "1", FormatDouble(lsh.metrics.pc, 4),
-                FormatDouble(lsh.metrics.pq, 4),
-                FormatDouble(lsh.metrics.rr, 4),
-                FormatDouble(lsh.metrics.fm, 4),
-                std::to_string(lsh.metrics.distinct_pairs),
-                FormatDouble(lsh.seconds, 4)});
+  AddResultRow(table, "LSH", lsh, 1);
 
-  SemanticParams sp;
-  sp.w = full_width;
-  sp.mode = SemanticMode::kOr;
-  sp.seed = 11;
   sablock::eval::TechniqueResult sa = sablock::eval::RunTechnique(
-      SemanticAwareLshBlocker(lsh_params, sp, domain.semantics), d);
+      *sablock::bench::FromSpec(salsh_spec), d);
   total_settings += 1;
-  table.AddRow({"SA-LSH", sa.name, "1", FormatDouble(sa.metrics.pc, 4),
-                FormatDouble(sa.metrics.pq, 4),
-                FormatDouble(sa.metrics.rr, 4),
-                FormatDouble(sa.metrics.fm, 4),
-                std::to_string(sa.metrics.distinct_pairs),
-                FormatDouble(sa.seconds, 4)});
+  AddResultRow(table, "SA-LSH", sa, 1);
 
   table.Print();
   std::printf("  total parameter settings evaluated: %zu\n\n",
@@ -88,14 +72,15 @@ int main(int argc, char** argv) {
   std::printf("Table 3 + Fig. 11 reproduction (E8)\n\n");
 
   RunDataset("Cora-like data set",
-             sablock::bench::MakePaperCora(cora_records),
-             sablock::bench::CoraKey(), sablock::bench::CoraLshParams(),
-             sablock::core::MakeBibliographicDomain(), /*full_width=*/5);
+             sablock::bench::MakePaperCora(cora_records), "authors+title",
+             "lsh:k=4,l=63,q=4,seed=7,attrs=authors+title",
+             "sa-lsh:k=4,l=63,q=4,seed=7,w=5,mode=or,domain=bib");
 
   RunDataset("Voter-like data set",
              sablock::bench::MakePaperVoter(voter_records),
-             sablock::bench::VoterKey(), sablock::bench::VoterLshParams(),
-             sablock::core::MakeVoterDomain(), /*full_width=*/12);
+             "first_name+last_name",
+             "lsh:k=9,l=15,q=2,seed=7,attrs=first_name+last_name",
+             "sa-lsh:k=9,l=15,q=2,seed=7,w=12,mode=or,domain=voter");
 
   std::printf(
       "Shape check (paper, Fig. 11 / Table 3): SA-LSH attains the best FM\n"

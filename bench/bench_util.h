@@ -13,14 +13,9 @@
 #include <string>
 #include <vector>
 
-#include "baselines/adaptive_sorted_neighbourhood.h"
-#include "baselines/blocking_key.h"
-#include "baselines/canopy.h"
-#include "baselines/qgram_indexing.h"
-#include "baselines/sorted_neighbourhood.h"
-#include "baselines/standard_blocking.h"
-#include "baselines/stringmap.h"
-#include "baselines/suffix_array.h"
+#include "api/registry.h"
+#include "common/check.h"
+#include "common/string_util.h"
 #include "core/domains.h"
 #include "core/lsh_blocker.h"
 #include "data/cora_generator.h"
@@ -87,154 +82,136 @@ inline core::LshParams VoterLshParams() {
   return p;
 }
 
-/// Blocking key used for all baselines on the Cora dataset (authors+title,
-/// Section 6.3.4).
-inline baselines::BlockingKeyDef CoraKey() {
-  return baselines::ExactKey({"authors", "title"});
-}
-
-/// Blocking key used for all baselines on the Voter dataset.
-inline baselines::BlockingKeyDef VoterKey() {
-  return baselines::ExactKey({"first_name", "last_name"});
-}
-
 /// A named family of parameter settings for one technique.
 struct TechniqueGrid {
   std::string family;  // e.g. "SorA"
   std::vector<std::unique_ptr<core::BlockingTechnique>> settings;
 };
 
-/// Builds the 12-baseline parameter grids of Section 6.3.4 for a dataset
-/// keyed by `key`. The grids mirror the paper's sweep; the StringMap grids
-/// are reduced from 32 to 8 settings because our embedding fixes the base
-/// metric to edit distance (the paper's extra settings swept the string
-/// comparator). See DESIGN.md §5.
-inline std::vector<TechniqueGrid> BuildBaselineGrids(
-    const baselines::BlockingKeyDef& key) {
-  using namespace sablock::baselines;  // NOLINT
-  std::vector<TechniqueGrid> grids;
+/// Builds one technique from a registry spec string; malformed specs are a
+/// programming error in the bench and abort.
+inline std::unique_ptr<core::BlockingTechnique> FromSpec(
+    const std::string& spec) {
+  std::unique_ptr<core::BlockingTechnique> technique;
+  Status status = api::BlockerRegistry::Global().Create(spec, &technique);
+  SABLOCK_CHECK_MSG(status.ok(), status.message().c_str());
+  return technique;
+}
 
-  {
-    TechniqueGrid g{"TBlo", {}};
-    g.settings.push_back(std::make_unique<StandardBlocking>(key));
-    grids.push_back(std::move(g));
-  }
-  {
-    TechniqueGrid g{"SorA", {}};
-    for (int w : {2, 3, 5, 7, 10}) {
-      g.settings.push_back(
-          std::make_unique<SortedNeighbourhoodArray>(key, w));
+/// Builds the 12-baseline parameter grids of Section 6.3.4 over the
+/// '+'-joined blocking attributes, each setting constructed from its
+/// registry spec string. The grids mirror the paper's sweep; the StringMap
+/// grids are reduced from 32 to 8 settings because our embedding fixes the
+/// base metric to edit distance (the paper's extra settings swept the
+/// string comparator). See DESIGN.md §5.
+inline std::vector<TechniqueGrid> BuildBaselineGrids(
+    const std::string& attrs) {
+  const std::string a = ",attrs=" + attrs;
+  std::vector<TechniqueGrid> grids;
+  auto add = [&grids](std::string family, std::vector<std::string> specs) {
+    TechniqueGrid g{std::move(family), {}};
+    g.settings.reserve(specs.size());
+    for (const std::string& spec : specs) {
+      g.settings.push_back(FromSpec(spec));
     }
     grids.push_back(std::move(g));
-  }
+  };
+
+  add("TBlo", {"tblo:" + a.substr(1)});
   {
-    TechniqueGrid g{"SorII", {}};
+    std::vector<std::string> sor_a;
+    std::vector<std::string> sor_ii;
     for (int w : {2, 3, 5, 7, 10}) {
-      g.settings.push_back(
-          std::make_unique<SortedNeighbourhoodInvertedIndex>(key, w));
+      sor_a.push_back("sor-a:window=" + std::to_string(w) + a);
+      sor_ii.push_back("sor-ii:window=" + std::to_string(w) + a);
     }
-    grids.push_back(std::move(g));
+    add("SorA", std::move(sor_a));
+    add("SorII", std::move(sor_ii));
   }
   {
-    TechniqueGrid g{"ASor", {}};
+    std::vector<std::string> specs;
     for (const char* sim : {"jaro_winkler", "bigram", "edit", "lcs"}) {
-      for (double thr : {0.8, 0.9}) {
-        g.settings.push_back(std::make_unique<AdaptiveSortedNeighbourhood>(
-            key, sim, thr, /*max_block_size=*/50));
+      for (const char* thr : {"0.8", "0.9"}) {
+        specs.push_back(std::string("asor:sim=") + sim + ",threshold=" +
+                        thr + ",max-block=50" + a);
       }
     }
-    grids.push_back(std::move(g));
+    add("ASor", std::move(specs));
   }
   {
-    TechniqueGrid g{"QGr", {}};
+    std::vector<std::string> specs;
     for (int q : {2, 3}) {
-      for (double thr : {0.8, 0.9}) {
-        g.settings.push_back(std::make_unique<QGramIndexing>(key, q, thr));
+      for (const char* thr : {"0.8", "0.9"}) {
+        specs.push_back("qgram:q=" + std::to_string(q) + ",threshold=" +
+                        thr + a);
       }
     }
-    grids.push_back(std::move(g));
+    add("QGr", std::move(specs));
   }
   {
-    TechniqueGrid g{"CaTh", {}};
-    for (CanopySimilarity sim :
-         {CanopySimilarity::kJaccard, CanopySimilarity::kTfIdfCosine}) {
-      for (auto [tight, loose] : std::vector<std::pair<double, double>>{
-               {0.9, 0.8}, {0.8, 0.7}, {0.95, 0.85}, {0.7, 0.6}}) {
-        g.settings.push_back(
-            std::make_unique<CanopyThreshold>(key, sim, loose, tight));
+    std::vector<std::string> specs;
+    for (const char* sim : {"jaccard", "tfidf"}) {
+      for (auto [tight, loose] :
+           std::vector<std::pair<const char*, const char*>>{
+               {"0.9", "0.8"}, {"0.8", "0.7"}, {"0.95", "0.85"},
+               {"0.7", "0.6"}}) {
+        specs.push_back(std::string("cath:sim=") + sim + ",loose=" + loose +
+                        ",tight=" + tight + a);
       }
     }
-    grids.push_back(std::move(g));
+    add("CaTh", std::move(specs));
   }
   {
-    TechniqueGrid g{"CaNN", {}};
-    for (CanopySimilarity sim :
-         {CanopySimilarity::kJaccard, CanopySimilarity::kTfIdfCosine}) {
+    std::vector<std::string> specs;
+    for (const char* sim : {"jaccard", "tfidf"}) {
       for (auto [n1, n2] : std::vector<std::pair<int, int>>{
                {10, 5}, {20, 10}, {5, 2}, {30, 15}}) {
-        g.settings.push_back(
-            std::make_unique<CanopyNearestNeighbour>(key, sim, n1, n2));
+        specs.push_back(std::string("cann:sim=") + sim + ",n1=" +
+                        std::to_string(n1) + ",n2=" + std::to_string(n2) +
+                        a);
       }
     }
-    grids.push_back(std::move(g));
+    add("CaNN", std::move(specs));
   }
   {
-    TechniqueGrid g{"StMT", {}};
-    for (double thr : {0.9, 0.85}) {
-      for (int grid_size : {100, 1000}) {
-        for (int dim : {15, 20}) {
-          g.settings.push_back(std::make_unique<StringMapThreshold>(
-              key, thr, grid_size, dim));
+    std::vector<std::string> stmt;
+    std::vector<std::string> stmnn;
+    for (int grid_size : {100, 1000}) {
+      for (int dim : {15, 20}) {
+        std::string tail = "grid=" + std::to_string(grid_size) +
+                           ",dim=" + std::to_string(dim) + a;
+        for (const char* thr : {"0.9", "0.85"}) {
+          stmt.push_back(std::string("stmt:threshold=") + thr + "," + tail);
+        }
+        for (int nn : {5, 10}) {
+          stmnn.push_back("stmnn:nn=" + std::to_string(nn) + "," + tail);
         }
       }
     }
-    grids.push_back(std::move(g));
+    add("StMT", std::move(stmt));
+    add("StMNN", std::move(stmnn));
   }
   {
-    TechniqueGrid g{"StMNN", {}};
-    for (int nn : {5, 10}) {
-      for (int grid_size : {100, 1000}) {
-        for (int dim : {15, 20}) {
-          g.settings.push_back(std::make_unique<StringMapNearestNeighbour>(
-              key, nn, grid_size, dim));
-        }
-      }
-    }
-    grids.push_back(std::move(g));
-  }
-  {
-    TechniqueGrid g{"SuA", {}};
+    std::vector<std::string> sua;
+    std::vector<std::string> suas;
+    std::vector<std::string> rsua;
     for (int len : {3, 5}) {
-      for (size_t max_block : {5u, 10u, 20u}) {
-        g.settings.push_back(
-            std::make_unique<SuffixArrayBlocking>(key, len, max_block));
-      }
-    }
-    grids.push_back(std::move(g));
-  }
-  {
-    TechniqueGrid g{"SuAS", {}};
-    for (int len : {3, 5}) {
-      for (size_t max_block : {5u, 10u, 20u}) {
-        g.settings.push_back(
-            std::make_unique<SuffixArrayAllSubstrings>(key, len, max_block));
-      }
-    }
-    grids.push_back(std::move(g));
-  }
-  {
-    TechniqueGrid g{"RSuA", {}};
-    for (const char* sim : {"jaro_winkler", "edit"}) {
-      for (double thr : {0.8, 0.9}) {
-        for (int len : {3, 5}) {
-          for (size_t max_block : {5u, 10u, 20u}) {
-            g.settings.push_back(std::make_unique<RobustSuffixArrayBlocking>(
-                key, len, max_block, sim, thr));
+      for (int max_block : {5, 10, 20}) {
+        std::string tail = "min-suffix=" + std::to_string(len) +
+                           ",max-block=" + std::to_string(max_block) + a;
+        sua.push_back("sua:" + tail);
+        suas.push_back("suas:" + tail);
+        for (const char* sim : {"jaro_winkler", "edit"}) {
+          for (const char* thr : {"0.8", "0.9"}) {
+            rsua.push_back(std::string("rsua:sim=") + sim + ",threshold=" +
+                           thr + "," + tail);
           }
         }
       }
     }
-    grids.push_back(std::move(g));
+    add("SuA", std::move(sua));
+    add("SuAS", std::move(suas));
+    add("RSuA", std::move(rsua));
   }
   return grids;
 }

@@ -4,22 +4,39 @@
 // are technical reports. Textual LSH alone puts the textually identical
 // tech report r4 next to r1; adding the semantic dimension removes it.
 //
-// Build & run:  ./build/examples/quickstart
+// Techniques are built from registry spec strings — the same strings the
+// CLI and benches accept ("name:key=val,key=val").
+//
+// Build & run:  ./build/quickstart
 
 #include <cstdio>
+#include <memory>
 
-#include "core/domains.h"
-#include "core/lsh_blocker.h"
+#include "api/registry.h"
 #include "eval/metrics.h"
 
-using sablock::core::LshBlocker;
-using sablock::core::LshParams;
-using sablock::core::SemanticAwareLshBlocker;
-using sablock::core::SemanticMode;
-using sablock::core::SemanticParams;
 using sablock::data::Dataset;
 using sablock::data::Record;
 using sablock::data::Schema;
+
+namespace {
+
+// Builds a technique from its spec string (aborting on typos — this is a
+// demo; real callers inspect the Status).
+std::unique_ptr<sablock::core::BlockingTechnique> MustCreate(
+    const char* spec) {
+  std::unique_ptr<sablock::core::BlockingTechnique> technique;
+  sablock::Status status =
+      sablock::api::BlockerRegistry::Global().Create(spec, &technique);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bad spec '%s': %s\n", spec,
+                 status.message().c_str());
+    std::exit(1);
+  }
+  return technique;
+}
+
+}  // namespace
 
 int main() {
   // 1. A dataset is a schema plus records (+ optional ground truth).
@@ -46,30 +63,20 @@ int main() {
   add("The cascade-correlation learn architecture",
       "Lebiere, C. and Fahlman, S.", "", "", "", 0);
 
-  // 2. The bibliographic domain bundles the Fig. 3 taxonomy tree with the
-  //    Table 1 missing-value-pattern semantic function.
-  sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
+  // 2. Plain textual LSH blocking ("B1" of Fig. 1): l tables of k minhash
+  //    rows over q-gram shingles of the chosen attributes.
+  sablock::core::BlockCollection textual =
+      MustCreate("lsh:k=2,l=24,q=3,attrs=authors+title")->Run(d);
 
-  // 3. Configure the LSH family: l tables of k minhash rows over q-gram
-  //    shingles of the chosen attributes.
-  LshParams lsh;
-  lsh.k = 2;
-  lsh.l = 24;
-  lsh.q = 3;
-  lsh.attributes = {"authors", "title"};
-
-  // 4. Plain textual LSH blocking ("B1" of Fig. 1).
-  sablock::core::BlockCollection textual = LshBlocker(lsh).Run(d);
-
-  // 5. Semantic-aware LSH blocking ("B3"): a full-width OR semantic hash
-  //    keeps only candidates sharing at least one semantic feature.
-  SemanticParams sem;
-  sem.w = 5;
-  sem.mode = SemanticMode::kOr;
+  // 3. Semantic-aware LSH blocking ("B3"): the bib domain bundles the
+  //    Fig. 3 taxonomy with the Table 1 semantic function; a full-width OR
+  //    semantic hash keeps only candidates sharing a semantic feature.
   sablock::core::BlockCollection combined =
-      SemanticAwareLshBlocker(lsh, sem, domain.semantics).Run(d);
+      MustCreate("sa-lsh:k=2,l=24,q=3,attrs=authors+title,w=5,mode=or,"
+                 "domain=bib")
+          ->Run(d);
 
-  // 6. Compare.
+  // 4. Compare.
   sablock::eval::Metrics m_text = sablock::eval::Evaluate(d, textual);
   sablock::eval::Metrics m_comb = sablock::eval::Evaluate(d, combined);
   std::printf("textual LSH : %s\n", sablock::eval::Summary(m_text).c_str());

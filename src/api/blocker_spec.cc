@@ -1,0 +1,23 @@
+#include "api/blocker_spec.h"
+
+#include "common/string_util.h"
+
+namespace sablock::api {
+
+Status BlockerSpec::Parse(const std::string& text, BlockerSpec* out) {
+  *out = BlockerSpec();
+  std::string_view trimmed = Trim(text);
+  size_t colon = trimmed.find(':');
+  std::string_view name_part =
+      colon == std::string_view::npos ? trimmed : trimmed.substr(0, colon);
+  out->name = ToLower(Trim(name_part));
+  if (out->name.empty()) {
+    return Status::Error("blocker spec '" + text +
+                         "': expected \"name[:key=val,...]\"");
+  }
+  if (colon == std::string_view::npos) return Status::Ok();
+  return ParamMap::Parse(std::string(trimmed.substr(colon + 1)),
+                         &out->params);
+}
+
+}  // namespace sablock::api

@@ -1,0 +1,30 @@
+#ifndef SABLOCK_API_BLOCKER_SPEC_H_
+#define SABLOCK_API_BLOCKER_SPEC_H_
+
+#include <string>
+
+#include "api/param_map.h"
+#include "common/status.h"
+
+namespace sablock::api {
+
+/// A parsed blocker description. The textual grammar is
+///
+///   spec   := name [ ":" params ]
+///   params := key "=" value { "," key "=" value }
+///
+/// e.g. "sa-lsh:k=4,l=63,w=2,mode=or". Names are matched
+/// case-insensitively against the registry; list-valued parameters join
+/// their elements with '+' ("attrs=authors+title").
+struct BlockerSpec {
+  std::string name;  ///< lowercased technique name
+  ParamMap params;
+
+  /// Parses `text` into `out`. Errors: empty name, malformed parameter
+  /// entries (see ParamMap::Parse).
+  static Status Parse(const std::string& text, BlockerSpec* out);
+};
+
+}  // namespace sablock::api
+
+#endif  // SABLOCK_API_BLOCKER_SPEC_H_

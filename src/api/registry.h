@@ -1,0 +1,79 @@
+#ifndef SABLOCK_API_REGISTRY_H_
+#define SABLOCK_API_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/blocker_spec.h"
+#include "common/status.h"
+#include "core/blocking.h"
+
+namespace sablock::api {
+
+/// Documentation of one spec parameter, surfaced by `sablock_cli --list`
+/// and the README technique table.
+struct ParamDoc {
+  std::string name;
+  std::string default_value;
+  std::string help;
+};
+
+/// Registry entry metadata for one blocking technique.
+struct BlockerInfo {
+  std::string name;     ///< canonical spec name, e.g. "sa-lsh"
+  std::string summary;  ///< one-line description
+  std::vector<std::string> aliases;
+  std::vector<ParamDoc> params;
+};
+
+/// Maps spec names to technique factories. Every technique in the library
+/// registers itself here (see builtin_blockers.cc), so the CLI, harness,
+/// benches and examples construct techniques from strings instead of
+/// including concrete headers.
+class BlockerRegistry {
+ public:
+  /// A factory reads its parameters from the ParamMap (consuming the keys
+  /// it understands) and produces the technique. Parameter type errors are
+  /// accumulated inside the ParamMap; the registry turns them — and any
+  /// unconsumed key — into the returned Status.
+  using Factory = std::function<Status(
+      ParamMap& params, std::unique_ptr<core::BlockingTechnique>* out)>;
+
+  /// The process-wide registry with all built-in techniques registered.
+  static BlockerRegistry& Global();
+
+  /// Registers a technique. Name and alias collisions abort (programming
+  /// error).
+  void Register(BlockerInfo info, Factory factory);
+
+  /// Parses `spec_string` and builds the technique.
+  Status Create(const std::string& spec_string,
+                std::unique_ptr<core::BlockingTechnique>* out) const;
+
+  /// Builds the technique described by a parsed spec. The spec is taken by
+  /// value because the factory consumes its parameter map.
+  Status Create(BlockerSpec spec,
+                std::unique_ptr<core::BlockingTechnique>* out) const;
+
+  /// True if `name` (canonical or alias, any case) is registered.
+  bool Contains(const std::string& name) const;
+
+  /// Canonical entries, sorted by name.
+  std::vector<BlockerInfo> List() const;
+
+ private:
+  std::vector<std::pair<BlockerInfo, Factory>> entries_;
+  std::map<std::string, size_t> index_;  // name or alias -> entries_ index
+};
+
+namespace internal {
+/// Defined in builtin_blockers.cc; called once by Global().
+void RegisterBuiltinBlockers(BlockerRegistry& registry);
+}  // namespace internal
+
+}  // namespace sablock::api
+
+#endif  // SABLOCK_API_REGISTRY_H_

@@ -21,8 +21,8 @@ std::string AdaptiveSortedNeighbourhood::name() const {
          sablock::FormatDouble(threshold_, 2) + ")";
 }
 
-core::BlockCollection AdaptiveSortedNeighbourhood::Run(
-    const data::Dataset& dataset) const {
+void AdaptiveSortedNeighbourhood::Run(const data::Dataset& dataset,
+                                      core::BlockSink& sink) const {
   std::vector<std::string> keys = MakeAllKeys(dataset, key_);
   std::vector<data::RecordId> order(dataset.size());
   std::iota(order.begin(), order.end(), 0);
@@ -31,13 +31,13 @@ core::BlockCollection AdaptiveSortedNeighbourhood::Run(
                      return keys[a] < keys[b];
                    });
 
-  core::BlockCollection out;
   core::Block current;
-  auto flush = [&out, &current]() {
-    if (current.size() >= 2) out.Add(current);
+  auto flush = [&sink, &current]() {
+    if (current.size() >= 2) sink.Consume(current);
     current.clear();
   };
   for (size_t i = 0; i < order.size(); ++i) {
+    if (sink.Done()) return;
     if (current.empty()) {
       current.push_back(order[i]);
       continue;
@@ -55,7 +55,6 @@ core::BlockCollection AdaptiveSortedNeighbourhood::Run(
     }
   }
   flush();
-  return out;
 }
 
 }  // namespace sablock::baselines

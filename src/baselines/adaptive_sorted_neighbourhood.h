@@ -21,7 +21,9 @@ class AdaptiveSortedNeighbourhood : public core::BlockingTechnique {
                               double threshold, size_t max_block_size = 0);
 
   std::string name() const override;
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;

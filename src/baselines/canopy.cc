@@ -120,8 +120,8 @@ std::string CanopyThreshold::name() const {
          sablock::FormatDouble(loose_, 2) + ")";
 }
 
-core::BlockCollection CanopyThreshold::Run(
-    const data::Dataset& dataset) const {
+void CanopyThreshold::Run(const data::Dataset& dataset,
+                          core::BlockSink& sink) const {
   CanopyIndex index(dataset, key_, similarity_);
   std::vector<bool> removed(dataset.size(), false);
   std::vector<data::RecordId> pool(dataset.size());
@@ -129,8 +129,8 @@ core::BlockCollection CanopyThreshold::Run(
   sablock::Rng rng(seed_);
   rng.Shuffle(&pool);
 
-  core::BlockCollection out;
   for (data::RecordId seed_record : pool) {
+    if (sink.Done()) return;
     if (removed[seed_record]) continue;
     removed[seed_record] = true;
     core::Block canopy = {seed_record};
@@ -142,9 +142,8 @@ core::BlockCollection CanopyThreshold::Run(
         if (sim >= tight_) removed[cand] = true;
       }
     }
-    if (canopy.size() >= 2) out.Add(std::move(canopy));
+    if (canopy.size() >= 2) sink.Consume(std::move(canopy));
   }
-  return out;
 }
 
 CanopyNearestNeighbour::CanopyNearestNeighbour(BlockingKeyDef key,
@@ -163,8 +162,8 @@ std::string CanopyNearestNeighbour::name() const {
          std::to_string(n1_) + "/" + std::to_string(n2_) + ")";
 }
 
-core::BlockCollection CanopyNearestNeighbour::Run(
-    const data::Dataset& dataset) const {
+void CanopyNearestNeighbour::Run(const data::Dataset& dataset,
+                                 core::BlockSink& sink) const {
   CanopyIndex index(dataset, key_, similarity_);
   std::vector<bool> removed(dataset.size(), false);
   std::vector<data::RecordId> pool(dataset.size());
@@ -172,8 +171,8 @@ core::BlockCollection CanopyNearestNeighbour::Run(
   sablock::Rng rng(seed_);
   rng.Shuffle(&pool);
 
-  core::BlockCollection out;
   for (data::RecordId seed_record : pool) {
+    if (sink.Done()) return;
     if (removed[seed_record]) continue;
     removed[seed_record] = true;
     std::vector<std::pair<double, data::RecordId>> scored;
@@ -190,9 +189,8 @@ core::BlockCollection CanopyNearestNeighbour::Run(
       canopy.push_back(scored[i].second);
       if (i < static_cast<size_t>(n2_)) removed[scored[i].second] = true;
     }
-    if (canopy.size() >= 2) out.Add(std::move(canopy));
+    if (canopy.size() >= 2) sink.Consume(std::move(canopy));
   }
-  return out;
 }
 
 }  // namespace sablock::baselines

@@ -24,7 +24,9 @@ class CanopyThreshold : public core::BlockingTechnique {
                   double loose, double tight, uint64_t seed = 31);
 
   std::string name() const override;
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;
@@ -43,7 +45,9 @@ class CanopyNearestNeighbour : public core::BlockingTechnique {
                          int n1, int n2, uint64_t seed = 31);
 
   std::string name() const override;
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;

@@ -68,9 +68,13 @@ std::string MetaBlocking::name() const {
          MetaWeightingName(weighting_) + ")";
 }
 
-core::BlockCollection MetaBlocking::Run(const data::Dataset& dataset) const {
-  return Prune(dataset,
-               TokenBlocking(dataset, attributes_, max_block_size_));
+void MetaBlocking::Run(const data::Dataset& dataset,
+                       core::BlockSink& sink) const {
+  // The blocking graph needs the full input collection before pruning can
+  // retain any comparison, so the pipeline materializes and then drains.
+  core::BlockCollection pruned =
+      Prune(dataset, TokenBlocking(dataset, attributes_, max_block_size_));
+  pruned.Drain(sink);
 }
 
 namespace {

@@ -48,7 +48,9 @@ class MetaBlocking : public core::BlockingTechnique {
                MetaPruning pruning, size_t max_block_size = 500);
 
   std::string name() const override;
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
   /// Runs the graph phase on a pre-built block collection (exposed so the
   /// Fig. 12 bench can report the initial blocks' metrics too).

@@ -76,7 +76,8 @@ void GenerateSubListKeys(const std::vector<uint64_t>& grams, size_t max_del,
 
 }  // namespace
 
-core::BlockCollection QGramIndexing::Run(const data::Dataset& dataset) const {
+void QGramIndexing::Run(const data::Dataset& dataset,
+                        core::BlockSink& sink) const {
   std::unordered_map<uint64_t, core::Block> buckets;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
     std::string bkv = MakeKey(dataset, id, key_);
@@ -99,11 +100,10 @@ core::BlockCollection QGramIndexing::Run(const data::Dataset& dataset) const {
       buckets[key].push_back(id);
     }
   }
-  core::BlockCollection out;
   for (auto& [key, block] : buckets) {
-    if (block.size() >= 2) out.Add(std::move(block));
+    if (sink.Done()) return;
+    if (block.size() >= 2) sink.Consume(std::move(block));
   }
-  return out;
 }
 
 }  // namespace sablock::baselines

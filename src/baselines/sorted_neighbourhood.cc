@@ -9,8 +9,8 @@
 
 namespace sablock::baselines {
 
-core::BlockCollection SortedNeighbourhoodArray::Run(
-    const data::Dataset& dataset) const {
+void SortedNeighbourhoodArray::Run(const data::Dataset& dataset,
+                                   core::BlockSink& sink) const {
   SABLOCK_CHECK(window_size_ >= 2);
   std::vector<std::string> keys = MakeAllKeys(dataset, key_);
   std::vector<data::RecordId> order(dataset.size());
@@ -20,23 +20,23 @@ core::BlockCollection SortedNeighbourhoodArray::Run(
                      return keys[a] < keys[b];
                    });
 
-  core::BlockCollection out;
   const size_t n = order.size();
   const size_t w = static_cast<size_t>(window_size_);
-  if (n < 2) return out;
+  if (n < 2) return;
   if (w >= n) {
-    out.Add(std::move(order));
-    return out;
+    sink.Consume(std::move(order));
+    return;
   }
   for (size_t start = 0; start + w <= n; ++start) {
-    out.Add(core::Block(order.begin() + static_cast<ptrdiff_t>(start),
-                        order.begin() + static_cast<ptrdiff_t>(start + w)));
+    if (sink.Done()) return;
+    sink.Consume(
+        core::Block(order.begin() + static_cast<ptrdiff_t>(start),
+                    order.begin() + static_cast<ptrdiff_t>(start + w)));
   }
-  return out;
 }
 
-core::BlockCollection SortedNeighbourhoodInvertedIndex::Run(
-    const data::Dataset& dataset) const {
+void SortedNeighbourhoodInvertedIndex::Run(const data::Dataset& dataset,
+                                           core::BlockSink& sink) const {
   SABLOCK_CHECK(window_size_ >= 1);
   std::vector<std::string> keys = MakeAllKeys(dataset, key_);
   std::map<std::string, core::Block> index;  // sorted unique keys
@@ -49,18 +49,17 @@ core::BlockCollection SortedNeighbourhoodInvertedIndex::Run(
     postings.push_back(&block);
   }
 
-  core::BlockCollection out;
   const size_t w = static_cast<size_t>(window_size_);
   for (size_t start = 0; start < postings.size(); ++start) {
+    if (sink.Done()) return;
     size_t end = std::min(start + w, postings.size());
     core::Block merged;
     for (size_t i = start; i < end; ++i) {
       merged.insert(merged.end(), postings[i]->begin(), postings[i]->end());
     }
-    if (merged.size() >= 2) out.Add(std::move(merged));
+    if (merged.size() >= 2) sink.Consume(std::move(merged));
     if (end == postings.size()) break;
   }
-  return out;
 }
 
 MultiPassSortedNeighbourhood::MultiPassSortedNeighbourhood(
@@ -75,17 +74,18 @@ std::string MultiPassSortedNeighbourhood::name() const {
          ",w=" + std::to_string(window_size_) + ")";
 }
 
-core::BlockCollection MultiPassSortedNeighbourhood::Run(
-    const data::Dataset& dataset) const {
+void MultiPassSortedNeighbourhood::Run(const data::Dataset& dataset,
+                                       core::BlockSink& sink) const {
+  // The transitive closure needs every window pair before any block can be
+  // emitted, so the passes materialize into a collection first.
   core::BlockCollection all_windows;
   for (const BlockingKeyDef& key : keys_) {
     SortedNeighbourhoodArray pass(key, window_size_);
-    core::BlockCollection windows = pass.Run(dataset);
-    for (const core::Block& b : windows.blocks()) {
-      all_windows.Add(b);
-    }
+    pass.Run(dataset, all_windows);
   }
-  return core::ConnectedComponents(all_windows, dataset.size());
+  core::BlockCollection components =
+      core::ConnectedComponents(all_windows, dataset.size());
+  components.Drain(sink);
 }
 
 }  // namespace sablock::baselines

@@ -19,7 +19,9 @@ class SortedNeighbourhoodArray : public core::BlockingTechnique {
   std::string name() const override {
     return "SorA(w=" + std::to_string(window_size_) + ")";
   }
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;
@@ -38,7 +40,9 @@ class SortedNeighbourhoodInvertedIndex : public core::BlockingTechnique {
   std::string name() const override {
     return "SorII(w=" + std::to_string(window_size_) + ")";
   }
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;
@@ -56,7 +60,9 @@ class MultiPassSortedNeighbourhood : public core::BlockingTechnique {
                                int window_size);
 
   std::string name() const override;
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   std::vector<BlockingKeyDef> keys_;

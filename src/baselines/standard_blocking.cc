@@ -4,19 +4,18 @@
 
 namespace sablock::baselines {
 
-core::BlockCollection StandardBlocking::Run(
-    const data::Dataset& dataset) const {
+void StandardBlocking::Run(const data::Dataset& dataset,
+                           core::BlockSink& sink) const {
   std::unordered_map<std::string, core::Block> buckets;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
     std::string key = MakeKey(dataset, id, key_);
     if (key.empty()) continue;  // records without a key are not blocked
     buckets[key].push_back(id);
   }
-  core::BlockCollection out;
   for (auto& [key, block] : buckets) {
-    if (block.size() >= 2) out.Add(std::move(block));
+    if (sink.Done()) return;
+    if (block.size() >= 2) sink.Consume(std::move(block));
   }
-  return out;
 }
 
 }  // namespace sablock::baselines

@@ -14,7 +14,9 @@ class StandardBlocking : public core::BlockingTechnique {
   explicit StandardBlocking(BlockingKeyDef key) : key_(std::move(key)) {}
 
   std::string name() const override { return "TBlo"; }
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;

@@ -154,8 +154,8 @@ std::string StringMapThreshold::name() const {
          ",d=" + std::to_string(dimensions_) + ")";
 }
 
-core::BlockCollection StringMapThreshold::Run(
-    const data::Dataset& dataset) const {
+void StringMapThreshold::Run(const data::Dataset& dataset,
+                             core::BlockSink& sink) const {
   std::vector<std::string> bkvs(dataset.size());
   double avg_len = 0.0;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
@@ -178,8 +178,8 @@ core::BlockCollection StringMapThreshold::Run(
   int cell_radius =
       std::clamp(static_cast<int>(std::ceil(radius / edge)), 1, 8);
 
-  core::BlockCollection out;
   for (uint32_t id = 0; id < points.size(); ++id) {
+    if (sink.Done()) return;
     int cx = grid.Coord(points[id], 0);
     int cy = grid.Coord(points[id], 1);
     core::Block block = {id};
@@ -189,9 +189,8 @@ core::BlockCollection StringMapThreshold::Run(
         block.push_back(other);
       }
     }
-    if (block.size() >= 2) out.Add(std::move(block));
+    if (block.size() >= 2) sink.Consume(std::move(block));
   }
-  return out;
 }
 
 StringMapNearestNeighbour::StringMapNearestNeighbour(BlockingKeyDef key,
@@ -213,8 +212,8 @@ std::string StringMapNearestNeighbour::name() const {
          ",d=" + std::to_string(dimensions_) + ")";
 }
 
-core::BlockCollection StringMapNearestNeighbour::Run(
-    const data::Dataset& dataset) const {
+void StringMapNearestNeighbour::Run(const data::Dataset& dataset,
+                                    core::BlockSink& sink) const {
   std::vector<std::string> bkvs(dataset.size());
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
     bkvs[id] = MakeKey(dataset, id, key_);
@@ -223,9 +222,9 @@ core::BlockCollection StringMapNearestNeighbour::Run(
   std::vector<std::vector<double>> points = embedding.Embed(bkvs);
   Grid2D grid(points, grid_size_);
 
-  core::BlockCollection out;
   const size_t nn = static_cast<size_t>(num_neighbours_);
   for (uint32_t id = 0; id < points.size(); ++id) {
+    if (sink.Done()) return;
     int cx = grid.Coord(points[id], 0);
     int cy = grid.Coord(points[id], 1);
     // Expand the search ring until enough candidates are gathered (or the
@@ -248,9 +247,8 @@ core::BlockCollection StringMapNearestNeighbour::Run(
                       scored.end());
     core::Block block = {id};
     for (size_t i = 0; i < keep; ++i) block.push_back(scored[i].second);
-    out.Add(std::move(block));
+    sink.Consume(std::move(block));
   }
-  return out;
 }
 
 }  // namespace sablock::baselines

@@ -47,7 +47,9 @@ class StringMapThreshold : public core::BlockingTechnique {
                      int dimensions, uint64_t seed = 73);
 
   std::string name() const override;
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;
@@ -68,7 +70,9 @@ class StringMapNearestNeighbour : public core::BlockingTechnique {
                             uint64_t seed = 73);
 
   std::string name() const override;
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;

@@ -45,13 +45,13 @@ void AddAllSubstrings(const std::string& bkv, data::RecordId id, int min_len,
   }
 }
 
-core::BlockCollection EmitBlocks(SuffixIndex&& index, size_t max_block_size) {
-  core::BlockCollection out;
+void EmitBlocks(SuffixIndex&& index, size_t max_block_size,
+                core::BlockSink& sink) {
   for (auto& [suffix, posting] : index) {
+    if (sink.Done()) return;
     if (posting.size() < 2 || posting.size() > max_block_size) continue;
-    out.Add(std::move(posting));
+    sink.Consume(std::move(posting));
   }
-  return out;
 }
 
 }  // namespace
@@ -70,13 +70,13 @@ std::string SuffixArrayBlocking::name() const {
          ",max=" + std::to_string(max_block_size_) + ")";
 }
 
-core::BlockCollection SuffixArrayBlocking::Run(
-    const data::Dataset& dataset) const {
+void SuffixArrayBlocking::Run(const data::Dataset& dataset,
+                              core::BlockSink& sink) const {
   SuffixIndex index;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
     AddSuffixes(MakeKey(dataset, id, key_), id, min_suffix_len_, &index);
   }
-  return EmitBlocks(std::move(index), max_block_size_);
+  EmitBlocks(std::move(index), max_block_size_, sink);
 }
 
 SuffixArrayAllSubstrings::SuffixArrayAllSubstrings(BlockingKeyDef key,
@@ -93,14 +93,14 @@ std::string SuffixArrayAllSubstrings::name() const {
          ",max=" + std::to_string(max_block_size_) + ")";
 }
 
-core::BlockCollection SuffixArrayAllSubstrings::Run(
-    const data::Dataset& dataset) const {
+void SuffixArrayAllSubstrings::Run(const data::Dataset& dataset,
+                                   core::BlockSink& sink) const {
   SuffixIndex index;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
     AddAllSubstrings(MakeKey(dataset, id, key_), id, min_suffix_len_,
                      &index);
   }
-  return EmitBlocks(std::move(index), max_block_size_);
+  EmitBlocks(std::move(index), max_block_size_, sink);
 }
 
 RobustSuffixArrayBlocking::RobustSuffixArrayBlocking(
@@ -120,8 +120,8 @@ std::string RobustSuffixArrayBlocking::name() const {
          "," + sablock::FormatDouble(similarity_threshold_, 2) + ")";
 }
 
-core::BlockCollection RobustSuffixArrayBlocking::Run(
-    const data::Dataset& dataset) const {
+void RobustSuffixArrayBlocking::Run(const data::Dataset& dataset,
+                                    core::BlockSink& sink) const {
   SuffixIndex index;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
     AddSuffixes(MakeKey(dataset, id, key_), id, min_suffix_len_, &index);
@@ -130,7 +130,6 @@ core::BlockCollection RobustSuffixArrayBlocking::Run(
 
   // Merge runs of adjacent similar suffixes in the (sorted) index. The
   // std::map iteration order is exactly the sorted suffix order.
-  core::BlockCollection out;
   core::Block merged;
   const std::string* prev_suffix = nullptr;
   auto flush = [&]() {
@@ -138,12 +137,13 @@ core::BlockCollection RobustSuffixArrayBlocking::Run(
       std::sort(merged.begin(), merged.end());
       merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
       if (merged.size() >= 2 && merged.size() <= max_block_size_) {
-        out.Add(merged);
+        sink.Consume(merged);
       }
       merged.clear();
     }
   };
   for (const auto& [suffix, posting] : index) {
+    if (sink.Done()) return;
     bool mergeable =
         prev_suffix != nullptr &&
         sim(*prev_suffix, suffix) >= similarity_threshold_;
@@ -152,7 +152,6 @@ core::BlockCollection RobustSuffixArrayBlocking::Run(
     prev_suffix = &suffix;
   }
   flush();
-  return out;
 }
 
 }  // namespace sablock::baselines

@@ -18,7 +18,9 @@ class SuffixArrayBlocking : public core::BlockingTechnique {
                       size_t max_block_size);
 
   std::string name() const override;
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;
@@ -35,7 +37,9 @@ class SuffixArrayAllSubstrings : public core::BlockingTechnique {
                            size_t max_block_size);
 
   std::string name() const override;
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;
@@ -55,7 +59,9 @@ class RobustSuffixArrayBlocking : public core::BlockingTechnique {
                             double similarity_threshold);
 
   std::string name() const override;
-  core::BlockCollection Run(const data::Dataset& dataset) const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
 
  private:
   BlockingKeyDef key_;

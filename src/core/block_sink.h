@@ -1,0 +1,100 @@
+#ifndef SABLOCK_CORE_BLOCK_SINK_H_
+#define SABLOCK_CORE_BLOCK_SINK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "data/record.h"
+
+namespace sablock::core {
+
+/// A block: the ids of the records placed together by a blocking technique.
+using Block = std::vector<data::RecordId>;
+
+/// Streaming consumer of blocks. Techniques emit every block through a sink
+/// instead of materializing a full collection, so downstream stages
+/// (counting, capping, sharded fan-out, meta-blocking) can process blocks
+/// as they are produced.
+class BlockSink {
+ public:
+  virtual ~BlockSink() = default;
+
+  /// Receives one block. Blocks with fewer than 2 records carry no
+  /// comparisons; techniques normally skip emitting them.
+  virtual void Consume(Block block) = 0;
+
+  /// Backpressure signal: once true, the sink no longer wants blocks.
+  /// Techniques poll this in their emission loops and stop early; a
+  /// technique that cannot stop mid-phase may still Consume afterwards and
+  /// the sink must tolerate (typically drop) those blocks.
+  virtual bool Done() const { return false; }
+};
+
+/// Sink that keeps only the aggregate counts a quality sweep needs — block
+/// count, Σ|b|, Σ|b|(|b|-1)/2 and the largest block — without storing any
+/// block. O(1) memory regardless of output size.
+class PairCountingSink : public BlockSink {
+ public:
+  void Consume(Block block) override {
+    ++num_blocks_;
+    const uint64_t n = block.size();
+    comparisons_ += n * (n - 1) / 2;
+    total_block_sizes_ += n;
+    max_block_size_ = std::max<uint64_t>(max_block_size_, n);
+  }
+
+  uint64_t num_blocks() const { return num_blocks_; }
+  /// Redundancy-counting comparison count |Γm|.
+  uint64_t comparisons() const { return comparisons_; }
+  uint64_t total_block_sizes() const { return total_block_sizes_; }
+  uint64_t max_block_size() const { return max_block_size_; }
+
+ private:
+  uint64_t num_blocks_ = 0;
+  uint64_t comparisons_ = 0;
+  uint64_t total_block_sizes_ = 0;
+  uint64_t max_block_size_ = 0;
+};
+
+/// Budgeted sink: forwards blocks to an inner sink until a comparison
+/// budget is spent, then reports Done so the producing technique can stop
+/// early (progressive / budgeted blocking). The budget is measured in
+/// redundancy-counting comparisons Σ|b|(|b|-1)/2; the block that crosses
+/// the budget is still forwarded, so the forwarded total may exceed the
+/// budget by less than one block.
+class CappedSink : public BlockSink {
+ public:
+  CappedSink(BlockSink& inner, uint64_t comparison_budget)
+      : inner_(&inner), budget_(comparison_budget) {}
+
+  void Consume(Block block) override {
+    if (done_) {
+      ++dropped_blocks_;
+      return;
+    }
+    const uint64_t n = block.size();
+    comparisons_ += n * (n - 1) / 2;
+    inner_->Consume(std::move(block));
+    if (comparisons_ >= budget_) done_ = true;
+  }
+
+  bool Done() const override { return done_; }
+
+  /// Comparisons forwarded so far.
+  uint64_t comparisons() const { return comparisons_; }
+  /// Blocks received after the budget was exhausted (from techniques that
+  /// cannot stop mid-phase). Zero when the producer honours Done().
+  uint64_t dropped_blocks() const { return dropped_blocks_; }
+
+ private:
+  BlockSink* inner_;
+  uint64_t budget_;
+  uint64_t comparisons_ = 0;
+  uint64_t dropped_blocks_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace sablock::core
+
+#endif  // SABLOCK_CORE_BLOCK_SINK_H_

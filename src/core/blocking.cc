@@ -4,6 +4,14 @@
 
 namespace sablock::core {
 
+void BlockCollection::Drain(BlockSink& sink) {
+  for (Block& b : blocks_) {
+    if (sink.Done()) break;
+    sink.Consume(std::move(b));
+  }
+  blocks_.clear();
+}
+
 uint64_t BlockCollection::TotalComparisons() const {
   uint64_t total = 0;
   for (const Block& b : blocks_) {
@@ -37,6 +45,12 @@ PairSet BlockCollection::DistinctPairs() const {
     }
   }
   return pairs;
+}
+
+BlockCollection BlockingTechnique::Run(const data::Dataset& dataset) const {
+  BlockCollection blocks;
+  Run(dataset, blocks);
+  return blocks;
 }
 
 bool BlockCollection::InSameBlock(data::RecordId a, data::RecordId b) const {

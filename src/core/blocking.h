@@ -6,23 +6,31 @@
 #include <vector>
 
 #include "common/pair_set.h"
+#include "core/block_sink.h"
 #include "data/record.h"
 
 namespace sablock::core {
 
-/// A block: the ids of the records placed together by a blocking technique.
-using Block = std::vector<data::RecordId>;
-
-/// The output of a blocking technique: a set of possibly overlapping blocks.
-/// Provides the candidate-pair views needed by the evaluation measures:
-/// Γ (distinct pairs), Γm (all pairs, counting redundancy across blocks).
-class BlockCollection {
+/// A materialized set of possibly overlapping blocks — the collecting
+/// BlockSink. Provides the candidate-pair views needed by the evaluation
+/// measures: Γ (distinct pairs), Γm (all pairs, counting redundancy across
+/// blocks).
+class BlockCollection : public BlockSink {
  public:
   BlockCollection() = default;
 
   /// Adds a block; blocks with fewer than 2 records produce no comparisons
   /// but are kept for bookkeeping (callers usually skip adding them).
   void Add(Block block) { blocks_.push_back(std::move(block)); }
+
+  /// BlockSink: collecting a block is the same as adding it.
+  void Consume(Block block) override { blocks_.push_back(std::move(block)); }
+
+  /// Moves every stored block into `sink` (stopping early if the sink
+  /// reports Done) and leaves this collection empty. Lets techniques that
+  /// must materialize intermediate results (transitive closure,
+  /// meta-blocking graphs) still emit through the streaming interface.
+  void Drain(BlockSink& sink);
 
   size_t NumBlocks() const { return blocks_.size(); }
   const std::vector<Block>& blocks() const { return blocks_; }
@@ -52,6 +60,11 @@ class BlockCollection {
 /// Interface implemented by every blocking technique in the library (the
 /// paper's SA-LSH and all baselines), so the evaluation harness can sweep
 /// them uniformly.
+///
+/// The streaming Run(dataset, sink) is the primary virtual: techniques emit
+/// each block as it is built and poll sink.Done() to stop early. The
+/// materializing Run(dataset) is a convenience wrapper that collects into a
+/// BlockCollection.
 class BlockingTechnique {
  public:
   virtual ~BlockingTechnique() = default;
@@ -59,8 +72,11 @@ class BlockingTechnique {
   /// Short identifier, e.g. "SA-LSH" or "SorA(w=3)".
   virtual std::string name() const = 0;
 
-  /// Builds the blocks for a dataset.
-  virtual BlockCollection Run(const data::Dataset& dataset) const = 0;
+  /// Builds the blocks for a dataset, emitting each through `sink`.
+  virtual void Run(const data::Dataset& dataset, BlockSink& sink) const = 0;
+
+  /// Builds and materializes all blocks (collecting-sink wrapper).
+  BlockCollection Run(const data::Dataset& dataset) const;
 };
 
 }  // namespace sablock::core

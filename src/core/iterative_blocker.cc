@@ -28,8 +28,8 @@ std::string IterativeLshBlocker::name() const {
          ",it=" + std::to_string(iterations_) + ")";
 }
 
-BlockCollection IterativeLshBlocker::Run(
-    const data::Dataset& dataset) const {
+void IterativeLshBlocker::Run(const data::Dataset& dataset,
+                              BlockSink& sink) const {
   const int num_hashes = params_.k * params_.l;
   Shingler shingler(params_.attributes, params_.q);
   MinHasher hasher(num_hashes, params_.seed);
@@ -105,15 +105,14 @@ BlockCollection IterativeLshBlocker::Run(
 
   // Final blocks: the connected components of the merge log (equivalently
   // the surviving groups with >= 2 members).
-  BlockCollection out;
   for (const Block& group : members) {
+    if (sink.Done()) return;
     if (group.size() >= 2) {
       Block sorted = group;
       std::sort(sorted.begin(), sorted.end());
-      out.Add(std::move(sorted));
+      sink.Consume(std::move(sorted));
     }
   }
-  return out;
 }
 
 }  // namespace sablock::core

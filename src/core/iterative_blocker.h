@@ -28,7 +28,8 @@ class IterativeLshBlocker : public BlockingTechnique {
                       int iterations);
 
   std::string name() const override;
-  BlockCollection Run(const data::Dataset& dataset) const override;
+  using BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset, BlockSink& sink) const override;
 
  private:
   LshParams params_;

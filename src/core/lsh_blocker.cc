@@ -25,9 +25,10 @@ bool IsEmptySignature(const std::vector<uint64_t>& sig) {
 }
 
 void EmitBlocks(std::unordered_map<uint64_t, Block>&& buckets,
-                BlockCollection* out) {
+                BlockSink& sink) {
   for (auto& [key, block] : buckets) {
-    if (block.size() >= 2) out->Add(std::move(block));
+    if (sink.Done()) return;
+    if (block.size() >= 2) sink.Consume(std::move(block));
   }
 }
 
@@ -53,20 +54,19 @@ std::string LshBlocker::name() const {
          ",l=" + std::to_string(params_.l) + ")";
 }
 
-BlockCollection LshBlocker::Run(const data::Dataset& dataset) const {
+void LshBlocker::Run(const data::Dataset& dataset, BlockSink& sink) const {
   std::vector<std::vector<uint64_t>> sigs =
       ComputeMinhashSignatures(dataset, params_);
-  BlockCollection out;
   for (int t = 0; t < params_.l; ++t) {
+    if (sink.Done()) return;
     std::unordered_map<uint64_t, Block> buckets;
     buckets.reserve(dataset.size());
     for (data::RecordId id = 0; id < dataset.size(); ++id) {
       if (IsEmptySignature(sigs[id])) continue;
       buckets[BandKey(sigs[id], t, params_.k)].push_back(id);
     }
-    EmitBlocks(std::move(buckets), &out);
+    EmitBlocks(std::move(buckets), sink);
   }
-  return out;
 }
 
 SemanticAwareLshBlocker::SemanticAwareLshBlocker(
@@ -86,8 +86,8 @@ std::string SemanticAwareLshBlocker::name() const {
          (sem_params_.mode == SemanticMode::kAnd ? ",AND)" : ",OR)");
 }
 
-BlockCollection SemanticAwareLshBlocker::Run(
-    const data::Dataset& dataset) const {
+void SemanticAwareLshBlocker::Run(const data::Dataset& dataset,
+                                  BlockSink& sink) const {
   std::vector<std::vector<uint64_t>> sigs =
       ComputeMinhashSignatures(dataset, lsh_params_);
 
@@ -101,13 +101,14 @@ BlockCollection SemanticAwareLshBlocker::Run(
   // Degenerate case: no record has any semantic feature. The semantic
   // filter cannot distinguish records; fall back to textual blocking only.
   if (dim == 0) {
-    return LshBlocker(lsh_params_).Run(dataset);
+    LshBlocker(lsh_params_).Run(dataset, sink);
+    return;
   }
   const int w =
       std::min(sem_params_.w, static_cast<int>(dim));  // clamp to |G|
 
-  BlockCollection out;
   for (int t = 0; t < lsh_params_.l; ++t) {
+    if (sink.Done()) return;
     // Draw this table's w-way semantic hash function: w distinct semhash
     // functions chosen uniformly at random (Section 5.2).
     Rng rng(Mix64(sem_params_.seed) ^ Mix64(0x7ab1e + t));
@@ -137,9 +138,8 @@ BlockCollection SemanticAwareLshBlocker::Run(
         }
       }
     }
-    EmitBlocks(std::move(buckets), &out);
+    EmitBlocks(std::move(buckets), sink);
   }
-  return out;
 }
 
 }  // namespace sablock::core

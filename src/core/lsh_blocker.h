@@ -42,7 +42,8 @@ class LshBlocker : public BlockingTechnique {
   explicit LshBlocker(LshParams params);
 
   std::string name() const override;
-  BlockCollection Run(const data::Dataset& dataset) const override;
+  using BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset, BlockSink& sink) const override;
 
   const LshParams& params() const { return params_; }
 
@@ -70,7 +71,8 @@ class SemanticAwareLshBlocker : public BlockingTechnique {
                           std::shared_ptr<const SemanticFunction> semantics);
 
   std::string name() const override;
-  BlockCollection Run(const data::Dataset& dataset) const override;
+  using BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset, BlockSink& sink) const override;
 
   const LshParams& lsh_params() const { return lsh_params_; }
   const SemanticParams& semantic_params() const { return sem_params_; }

@@ -73,15 +73,15 @@ std::string MultiProbeLshBlocker::name() const {
          ",p=" + std::to_string(num_probes_) + ")";
 }
 
-BlockCollection MultiProbeLshBlocker::Run(
-    const data::Dataset& dataset) const {
+void MultiProbeLshBlocker::Run(const data::Dataset& dataset,
+                               BlockSink& sink) const {
   std::vector<std::vector<uint64_t>> min1;
   std::vector<std::vector<uint64_t>> min2;
   ComputeTop2MinhashSignatures(dataset, params_, &min1, &min2);
   const int probes = std::min(num_probes_, params_.k);
 
-  BlockCollection out;
   for (int t = 0; t < params_.l; ++t) {
+    if (sink.Done()) return;
     std::unordered_map<uint64_t, Block> buckets;
     buckets.reserve(dataset.size());
     for (data::RecordId id = 0; id < dataset.size(); ++id) {
@@ -101,10 +101,10 @@ BlockCollection MultiProbeLshBlocker::Run(
       }
     }
     for (auto& [key, block] : buckets) {
-      if (block.size() >= 2) out.Add(std::move(block));
+      if (sink.Done()) return;
+      if (block.size() >= 2) sink.Consume(std::move(block));
     }
   }
-  return out;
 }
 
 LshForestBlocker::LshForestBlocker(LshParams params, int max_depth,
@@ -122,15 +122,16 @@ std::string LshForestBlocker::name() const {
          ",max=" + std::to_string(max_block_size_) + ")";
 }
 
-BlockCollection LshForestBlocker::Run(const data::Dataset& dataset) const {
+void LshForestBlocker::Run(const data::Dataset& dataset,
+                           BlockSink& sink) const {
   // One label sequence of max_depth rows per tree.
   LshParams effective = params_;
   effective.k = max_depth_;
   std::vector<std::vector<uint64_t>> sigs =
       ComputeMinhashSignatures(dataset, effective);
 
-  BlockCollection out;
   for (int t = 0; t < params_.l; ++t) {
+    if (sink.Done()) return;
     const size_t base = static_cast<size_t>(t) * max_depth_;
     // Iterative splitting: (group, depth) work list. Groups are split by
     // the next row's value while they are too large — the forest's
@@ -145,13 +146,14 @@ BlockCollection LshForestBlocker::Run(const data::Dataset& dataset) const {
     }
     work.emplace_back(std::move(all), 0);
     while (!work.empty()) {
+      if (sink.Done()) return;
       auto [group, depth] = std::move(work.back());
       work.pop_back();
       if (group.size() < 2) continue;
       if (group.size() <= max_block_size_ || depth == max_depth_) {
         // depth 0 can only reach here if the whole dataset fits in one
         // block; still a valid (degenerate) prefix group.
-        out.Add(std::move(group));
+        sink.Consume(std::move(group));
         continue;
       }
       std::unordered_map<uint64_t, Block> children;
@@ -163,7 +165,6 @@ BlockCollection LshForestBlocker::Run(const data::Dataset& dataset) const {
       }
     }
   }
-  return out;
 }
 
 }  // namespace sablock::core

@@ -25,7 +25,8 @@ class MultiProbeLshBlocker : public BlockingTechnique {
   MultiProbeLshBlocker(LshParams params, int num_probes);
 
   std::string name() const override;
-  BlockCollection Run(const data::Dataset& dataset) const override;
+  using BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset, BlockSink& sink) const override;
 
  private:
   LshParams params_;
@@ -44,7 +45,8 @@ class LshForestBlocker : public BlockingTechnique {
   LshForestBlocker(LshParams params, int max_depth, size_t max_block_size);
 
   std::string name() const override;
-  BlockCollection Run(const data::Dataset& dataset) const override;
+  using BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset, BlockSink& sink) const override;
 
  private:
   LshParams params_;  // params_.k is ignored; depth is adaptive

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/check.h"
 #include "common/timer.h"
 
 namespace sablock::eval {
@@ -41,6 +42,10 @@ TablePrinter::TablePrinter(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}
 
 void TablePrinter::AddRow(std::vector<std::string> cells) {
+  // A row wider than the header is a caller bug (the extra cells would
+  // vanish from the printed table); short rows are padded with empties.
+  SABLOCK_CHECK_MSG(cells.size() <= headers_.size(),
+                    "TablePrinter::AddRow: more cells than headers");
   cells.resize(headers_.size());
   rows_.push_back(std::move(cells));
 }

@@ -38,7 +38,8 @@ class TablePrinter {
  public:
   explicit TablePrinter(std::vector<std::string> headers);
 
-  /// Adds a row; cells beyond the header count are dropped.
+  /// Adds a row. Rows shorter than the header are padded with empty
+  /// cells; rows longer than the header CHECK-fail (caller bug).
   void AddRow(std::vector<std::string> cells);
 
   /// Renders the table with aligned columns to stdout.

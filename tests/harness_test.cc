@@ -62,19 +62,25 @@ TEST(BestByFmTest, PicksHighestFm) {
   EXPECT_EQ(BestByFm({}), 0u);
 }
 
-TEST(TablePrinterTest, PrintsAlignedRows) {
+TEST(TablePrinterTest, PrintsAlignedRowsAndPadsShortOnes) {
   TablePrinter table({"name", "value"});
   table.AddRow({"short", "1"});
   table.AddRow({"a much longer cell", "2"});
-  table.AddRow({"dropped extra cell", "3", "ignored"});
+  table.AddRow({"padded short row"});
   testing::internal::CaptureStdout();
   table.Print();
   std::string out = testing::internal::GetCapturedStdout();
   EXPECT_NE(out.find("name"), std::string::npos);
   EXPECT_NE(out.find("a much longer cell"), std::string::npos);
-  EXPECT_EQ(out.find("ignored"), std::string::npos);
+  EXPECT_NE(out.find("padded short row"), std::string::npos);
   // Header, rule, three rows.
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 5);
+}
+
+TEST(TablePrinterDeathTest, RejectsOverlongRows) {
+  TablePrinter table({"name", "value"});
+  EXPECT_DEATH(table.AddRow({"a", "b", "dropped silently before"}),
+               "more cells than headers");
 }
 
 }  // namespace

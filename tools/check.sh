@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure + build + ctest, failing on first error.
+# Mirrors the command in ROADMAP.md exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+cd build && ctest --output-on-failure -j

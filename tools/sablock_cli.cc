@@ -1,19 +1,21 @@
-// sablock_cli — run any blocking technique in the library on a CSV file
-// (or a generated dataset) and report blocking-quality metrics and/or the
-// candidate pairs.
+// sablock_cli — run any registered blocking technique on a CSV file (or a
+// generated dataset) and report blocking-quality metrics and/or the
+// candidate pairs. Techniques are built from registry spec strings; use
+// --list to see every registered technique and its parameters.
 //
 // Examples:
-//   sablock_cli --generate=cora --records=1879 --technique=salsh
-//               --domain=bib --k=4 --l=63 --q=4 --attrs=authors,title
+//   sablock_cli --list
+//   sablock_cli --generate=cora --records=1879
+//               --technique "sa-lsh:k=4,l=63,q=4,attrs=authors+title"
 //   sablock_cli --input=voters.csv --entity-column=voter_id
-//               --technique=lsh --k=9 --l=15 --q=2
-//               --attrs=first_name,last_name --pairs-out=pairs.csv
+//               --technique "lsh:k=9,l=15,q=2,attrs=first_name+last_name"
+//               --pairs-out=pairs.csv
 //   sablock_cli --generate=voter --records=30000 --technique=tblo
 //               --attrs=first_name,last_name
 // (each invocation is a single command line; shown wrapped for width)
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
@@ -21,18 +23,14 @@
 #include <string>
 #include <vector>
 
-#include "baselines/canopy.h"
-#include "baselines/sorted_neighbourhood.h"
-#include "baselines/standard_blocking.h"
-#include "baselines/suffix_array.h"
+#include "api/blocker_spec.h"
+#include "api/registry.h"
 #include "common/string_util.h"
-#include "core/domains.h"
-#include "core/lsh_blocker.h"
-#include "core/lsh_variants.h"
+#include "common/timer.h"
 #include "data/cora_generator.h"
 #include "data/csv.h"
 #include "data/voter_generator.h"
-#include "eval/harness.h"
+#include "eval/metrics.h"
 
 namespace {
 
@@ -59,10 +57,13 @@ Flags ParseFlags(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--", 2) != 0) continue;
     const char* eq = std::strchr(arg, '=');
-    if (eq == nullptr) {
-      flags.values[arg + 2] = "true";
-    } else {
+    if (eq != nullptr) {
       flags.values[std::string(arg + 2, eq)] = eq + 1;
+    } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+      // "--flag value" form (spec strings often carry '=' themselves).
+      flags.values[arg + 2] = argv[++i];
+    } else {
+      flags.values[arg + 2] = "true";
     }
   }
   return flags;
@@ -70,72 +71,55 @@ Flags ParseFlags(int argc, char** argv) {
 
 void PrintUsage() {
   std::printf(
-      "usage: sablock_cli (--input=FILE [--entity-column=COL] |\n"
+      "usage: sablock_cli --list\n"
+      "       sablock_cli (--input=FILE [--entity-column=COL] |\n"
       "                    --generate=cora|voter --records=N)\n"
-      "                   --technique=lsh|salsh|mplsh|forest|tblo|sorted|\n"
-      "                               canopy|suffix\n"
-      "                   --attrs=a,b[,c...]\n"
-      "                   [--domain=bib|voter]      (salsh semantics)\n"
-      "                   [--k=4 --l=63 --q=3]      (LSH family)\n"
-      "                   [--w=5 --mode=or|and]     (semantic hash)\n"
-      "                   [--window=3]              (sorted nbh.)\n"
-      "                   [--probes=2]              (mplsh)\n"
-      "                   [--pairs-out=FILE]        (write candidates)\n"
-      "                   [--blocks-out=FILE]       (write blocks)\n");
+      "                   --technique \"name:key=val,key=val,...\"\n"
+      "                   [--attrs=a,b[,c...]]  (default for attrs= param)\n"
+      "                   [--pairs-out=FILE]    (write candidate pairs)\n"
+      "                   [--blocks-out=FILE]   (write blocks)\n"
+      "\n"
+      "The technique spec drives the blocker registry; legacy flags\n"
+      "(--k, --l, --q, --w, --mode, --window, --probes, --domain,\n"
+      " --seed) are folded into the spec as defaults.\n");
 }
 
-std::unique_ptr<BlockingTechnique> MakeTechnique(
-    const Flags& flags, const std::vector<std::string>& attrs) {
-  using namespace sablock;  // NOLINT
-  std::string technique = flags.Get("technique", "lsh");
+void PrintRegistry() {
+  const sablock::api::BlockerRegistry& registry =
+      sablock::api::BlockerRegistry::Global();
+  std::printf("registered blocking techniques:\n\n");
+  for (const sablock::api::BlockerInfo& info : registry.List()) {
+    std::string aliases;
+    for (const std::string& alias : info.aliases) {
+      aliases += aliases.empty() ? " (alias: " : ", ";
+      aliases += alias;
+    }
+    if (!aliases.empty()) aliases += ")";
+    std::printf("  %-8s%s\n", info.name.c_str(), aliases.c_str());
+    std::printf("    %s\n", info.summary.c_str());
+    for (const sablock::api::ParamDoc& param : info.params) {
+      std::printf("      %-16s default=%-6s %s\n", param.name.c_str(),
+                  param.default_value.empty() ? "-"
+                                              : param.default_value.c_str(),
+                  param.help.c_str());
+    }
+  }
+  std::printf(
+      "\nspec grammar: name[:key=val,key=val,...]; list values join\n"
+      "elements with '+', e.g. \"lsh:k=4,l=63,attrs=authors+title\"\n");
+}
 
-  core::LshParams lsh;
-  lsh.k = flags.GetInt("k", 4);
-  lsh.l = flags.GetInt("l", 63);
-  lsh.q = flags.GetInt("q", 3);
-  lsh.attributes = attrs;
-  lsh.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
-
-  if (technique == "lsh") {
-    return std::make_unique<core::LshBlocker>(lsh);
+/// Folds the legacy per-parameter flags under the spec as defaults, so old
+/// invocations like "--technique=lsh --k=9 --l=15" keep working.
+void ApplyLegacyFlags(const Flags& flags,
+                      sablock::api::BlockerSpec* spec) {
+  static const char* kPassthrough[] = {
+      "k",      "l",         "q",     "w",          "mode",
+      "domain", "window",    "probes", "depth",     "seed",
+      "nn",     "threshold", "sim",    "min-suffix", "max-block"};
+  for (const char* name : kPassthrough) {
+    if (flags.Has(name)) spec->params.SetIfAbsent(name, flags.Get(name));
   }
-  if (technique == "salsh") {
-    std::string domain_name = flags.Get("domain", "bib");
-    core::Domain domain = domain_name == "voter"
-                              ? core::MakeVoterDomain()
-                              : core::MakeBibliographicDomain();
-    core::SemanticParams sem;
-    sem.w = flags.GetInt("w", 5);
-    sem.mode = flags.Get("mode", "or") == "and" ? core::SemanticMode::kAnd
-                                                : core::SemanticMode::kOr;
-    return std::make_unique<core::SemanticAwareLshBlocker>(
-        lsh, sem, domain.semantics);
-  }
-  if (technique == "mplsh") {
-    return std::make_unique<core::MultiProbeLshBlocker>(
-        lsh, flags.GetInt("probes", 2));
-  }
-  if (technique == "forest") {
-    return std::make_unique<core::LshForestBlocker>(
-        lsh, flags.GetInt("depth", 10), flags.GetInt("max-block", 25));
-  }
-  baselines::BlockingKeyDef key = baselines::ExactKey(attrs);
-  if (technique == "tblo") {
-    return std::make_unique<baselines::StandardBlocking>(key);
-  }
-  if (technique == "sorted") {
-    return std::make_unique<baselines::SortedNeighbourhoodArray>(
-        key, flags.GetInt("window", 3));
-  }
-  if (technique == "canopy") {
-    return std::make_unique<baselines::CanopyThreshold>(
-        key, baselines::CanopySimilarity::kJaccard, 0.4, 0.8);
-  }
-  if (technique == "suffix") {
-    return std::make_unique<baselines::SuffixArrayBlocking>(
-        key, flags.GetInt("min-suffix", 4), flags.GetInt("max-block", 20));
-  }
-  return nullptr;
 }
 
 }  // namespace
@@ -146,12 +130,58 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 0;
   }
+  if (flags.Has("list")) {
+    PrintRegistry();
+    return 0;
+  }
+
+  // --- technique (built from the registry spec string) ------------------
+  sablock::api::BlockerSpec spec;
+  sablock::Status status =
+      sablock::api::BlockerSpec::Parse(flags.Get("technique", "lsh"), &spec);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 1;
+  }
+  ApplyLegacyFlags(flags, &spec);
+
+  std::vector<std::string> attrs =
+      sablock::Split(flags.Get("attrs", ""), ',');
+  attrs.erase(std::remove(attrs.begin(), attrs.end(), std::string()),
+              attrs.end());
+  if (!attrs.empty()) {
+    spec.params.SetIfAbsent("attrs", sablock::Join(attrs, "+"));
+  }
+  // The effective blocking attributes (from --attrs or the spec itself),
+  // validated against the schema once the dataset is loaded.
+  {
+    sablock::api::ParamMap params_peek = spec.params;
+    attrs = params_peek.GetStringList("attrs", {});
+  }
+  // Only sa-lsh carries its own attribute default (the domain's paper
+  // attributes); everything else blocks on nothing without attrs, which
+  // is never what the user wants.
+  if (attrs.empty() && spec.name != "sa-lsh" && spec.name != "salsh") {
+    std::fprintf(stderr,
+                 "error: no blocking attributes — pass --attrs=a,b or an "
+                 "attrs= spec param\n");
+    return 1;
+  }
+
+  std::unique_ptr<BlockingTechnique> technique;
+  status = sablock::api::BlockerRegistry::Global().Create(std::move(spec),
+                                                          &technique);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    std::fprintf(stderr, "hint: sablock_cli --list shows all techniques\n");
+    return 1;
+  }
 
   // --- dataset ----------------------------------------------------------
   sablock::data::Dataset dataset;
   if (flags.Has("input")) {
-    sablock::Status status = sablock::data::ReadCsv(
-        flags.Get("input"), flags.Get("entity-column"), &dataset);
+    status = sablock::data::ReadCsv(flags.Get("input"),
+                                    flags.Get("entity-column"), &dataset);
     if (!status.ok()) {
       std::fprintf(stderr, "error: %s\n", status.message().c_str());
       return 1;
@@ -174,15 +204,6 @@ int main(int argc, char** argv) {
   std::printf("dataset: %zu records, %zu attributes\n", dataset.size(),
               dataset.schema().size());
 
-  // --- attributes -------------------------------------------------------
-  std::vector<std::string> attrs =
-      sablock::Split(flags.Get("attrs", ""), ',');
-  attrs.erase(std::remove(attrs.begin(), attrs.end(), std::string()),
-              attrs.end());
-  if (attrs.empty()) {
-    std::fprintf(stderr, "error: --attrs is required (comma-separated)\n");
-    return 1;
-  }
   for (const std::string& a : attrs) {
     if (dataset.schema().IndexOf(a) < 0) {
       std::fprintf(stderr, "error: attribute '%s' not in schema\n",
@@ -191,35 +212,26 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- technique --------------------------------------------------------
-  std::unique_ptr<BlockingTechnique> technique =
-      MakeTechnique(flags, attrs);
-  if (technique == nullptr) {
-    std::fprintf(stderr, "error: unknown technique '%s'\n",
-                 flags.Get("technique").c_str());
-    PrintUsage();
-    return 1;
-  }
-
-  sablock::eval::TechniqueResult result =
-      sablock::eval::RunTechnique(*technique, dataset);
-  std::printf("technique: %s\n", result.name.c_str());
+  // --- run (once; the collection serves metrics and outputs) ------------
+  sablock::WallTimer timer;
+  sablock::core::BlockCollection blocks = technique->Run(dataset);
+  double seconds = timer.Seconds();
+  sablock::eval::Metrics metrics = sablock::eval::Evaluate(dataset, blocks);
+  std::printf("technique: %s\n", technique->name().c_str());
   std::printf("blocks: %llu (max size %llu), candidate pairs: %llu, "
               "build time: %.3fs\n",
-              static_cast<unsigned long long>(result.metrics.num_blocks),
-              static_cast<unsigned long long>(result.metrics.max_block_size),
-              static_cast<unsigned long long>(result.metrics.distinct_pairs),
-              result.seconds);
-  if (result.metrics.ground_truth_pairs > 0) {
-    std::printf("quality: %s\n",
-                sablock::eval::Summary(result.metrics).c_str());
+              static_cast<unsigned long long>(metrics.num_blocks),
+              static_cast<unsigned long long>(metrics.max_block_size),
+              static_cast<unsigned long long>(metrics.distinct_pairs),
+              seconds);
+  if (metrics.ground_truth_pairs > 0) {
+    std::printf("quality: %s\n", sablock::eval::Summary(metrics).c_str());
   } else {
     std::printf("quality: (no ground truth labels — metrics skipped)\n");
   }
 
   // --- optional outputs ---------------------------------------------------
   if (flags.Has("pairs-out") || flags.Has("blocks-out")) {
-    sablock::core::BlockCollection blocks = technique->Run(dataset);
     if (flags.Has("pairs-out")) {
       std::ofstream out(flags.Get("pairs-out"));
       if (!out.is_open()) {
