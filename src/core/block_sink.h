@@ -16,6 +16,15 @@ using Block = std::vector<data::RecordId>;
 /// instead of materializing a full collection, so downstream stages
 /// (counting, capping, sharded fan-out, meta-blocking) can process blocks
 /// as they are produced.
+///
+/// Thread-safety contract: sinks are NOT internally synchronized — a
+/// sink's Consume()/Done() must be called by one producer at a time.
+/// Concurrent producers (the sharded execution engine's stream mode)
+/// share one engine::ConcurrentSink wrapping the sink chain; it serializes
+/// every Consume() and Done() under a single mutex, which keeps stateful
+/// sinks such as CappedSink exactly as correct as in the single-threaded
+/// case. Running concurrent producers into a bare sink is a data race
+/// (caught by the tools/check.sh --tsan build).
 class BlockSink {
  public:
   virtual ~BlockSink() = default;
@@ -63,6 +72,14 @@ class PairCountingSink : public BlockSink {
 /// redundancy-counting comparisons Σ|b|(|b|-1)/2; the block that crosses
 /// the budget is still forwarded, so the forwarded total may exceed the
 /// budget by less than one block.
+///
+/// Not safe for concurrent producers on its own: comparisons_ / done_ /
+/// dropped_blocks_ are plain fields, and Consume() must observe them and
+/// forward to the inner sink atomically (making the counters atomic would
+/// not make the inner forward safe). Multi-threaded producers must wrap
+/// the chain in engine::ConcurrentSink — its mutex serializes Consume()
+/// and Done(), so budget accounting, the done_ transition and the
+/// dropped-block count all stay exact (see concurrent_sink_test).
 class CappedSink : public BlockSink {
  public:
   CappedSink(BlockSink& inner, uint64_t comparison_budget)

@@ -61,10 +61,10 @@ uint64_t Dataset::CountTrueMatchPairs() const {
   return pairs;
 }
 
-Dataset Dataset::Prefix(size_t n) const {
+Dataset Dataset::Slice(size_t begin, size_t end) const {
   Dataset out(schema_);
-  size_t limit = n < records_.size() ? n : records_.size();
-  for (size_t i = 0; i < limit; ++i) {
+  size_t limit = end < records_.size() ? end : records_.size();
+  for (size_t i = begin; i < limit; ++i) {
     out.Add(records_[i], entities_[i]);
   }
   return out;

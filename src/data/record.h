@@ -92,7 +92,14 @@ class Dataset {
 
   /// Returns a new dataset containing the first `n` records (a prefix
   /// subset, used by the scalability experiments).
-  Dataset Prefix(size_t n) const;
+  Dataset Prefix(size_t n) const { return Slice(0, n); }
+
+  /// Returns a new dataset with records [begin, end) (clamped to the
+  /// dataset; empty when begin >= end). Record id `i` of the slice is
+  /// record `begin + i` of this dataset — the sharded execution engine
+  /// relies on this offset mapping to translate shard-local block ids
+  /// back to global ids.
+  Dataset Slice(size_t begin, size_t end) const;
 
  private:
   Schema schema_;

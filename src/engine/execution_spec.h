@@ -1,0 +1,49 @@
+#ifndef SABLOCK_ENGINE_EXECUTION_SPEC_H_
+#define SABLOCK_ENGINE_EXECUTION_SPEC_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace sablock::engine {
+
+/// How the sharded executor runs a technique over a dataset. The textual
+/// form reuses the blocker-spec parameter grammar
+/// ("key=val,key=val", see api::ParamMap):
+///
+///   "threads=4,shards=8,merge=collect"
+///
+/// Semantics:
+///  - threads: worker count (>= 1). Purely an execution property — it
+///    never changes the produced blocks.
+///  - shards:  number of record partitions (>= 1), or 0 (the default) to
+///    follow `threads`. A computation property: the merged result depends
+///    on the shard count (blocks never span shards), so pin shards
+///    explicitly when comparing runs across thread counts.
+///  - merge:   collect (default) materializes per-shard results and merges
+///    them in shard order — the output BlockCollection is byte-identical
+///    for any thread count; stream forwards blocks to the sink as they are
+///    produced through a ConcurrentSink — same multiset of blocks, but
+///    arrival order depends on scheduling.
+struct ExecutionSpec {
+  enum class Merge { kCollect, kStream };
+
+  int threads = 1;
+  int shards = 0;  // 0 = follow threads
+  Merge merge = Merge::kCollect;
+
+  /// The effective shard count: `shards`, or `threads` when shards == 0.
+  int ResolvedShards() const { return shards > 0 ? shards : threads; }
+
+  /// Round-trips through Parse: "threads=4,shards=8,merge=collect".
+  std::string ToString() const;
+
+  /// Parses "threads=N,shards=M,merge=collect|stream" (every key
+  /// optional; empty text is the default spec). Unknown keys, malformed
+  /// values, threads < 1 and shards < 0 are errors.
+  static Status Parse(const std::string& text, ExecutionSpec* out);
+};
+
+}  // namespace sablock::engine
+
+#endif  // SABLOCK_ENGINE_EXECUTION_SPEC_H_

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/timer.h"
+#include "engine/sharded_executor.h"
+#include "engine/thread_pool.h"
 
 namespace sablock::eval {
 
@@ -19,6 +21,19 @@ TechniqueResult RunTechnique(const core::BlockingTechnique& technique,
   return result;
 }
 
+TechniqueResult RunTechniqueSharded(const core::BlockingTechnique& technique,
+                                    const data::Dataset& dataset,
+                                    const engine::ExecutionSpec& spec) {
+  TechniqueResult result;
+  result.name = technique.name();
+  engine::ShardedExecutor executor(spec);
+  sablock::WallTimer timer;
+  core::BlockCollection blocks = executor.ExecuteCollect(technique, dataset);
+  result.seconds = timer.Seconds();
+  result.metrics = Evaluate(dataset, blocks);
+  return result;
+}
+
 std::vector<TechniqueResult> RunAll(
     const std::vector<std::unique_ptr<core::BlockingTechnique>>& settings,
     const data::Dataset& dataset) {
@@ -27,6 +42,22 @@ std::vector<TechniqueResult> RunAll(
   for (const auto& technique : settings) {
     results.push_back(RunTechnique(*technique, dataset));
   }
+  return results;
+}
+
+std::vector<TechniqueResult> RunAllParallel(
+    const std::vector<std::unique_ptr<core::BlockingTechnique>>& settings,
+    const data::Dataset& dataset, int threads) {
+  std::vector<TechniqueResult> results(settings.size());
+  engine::ThreadPool pool(threads);
+  for (size_t i = 0; i < settings.size(); ++i) {
+    const core::BlockingTechnique* technique = settings[i].get();
+    TechniqueResult* out = &results[i];
+    pool.Submit([technique, &dataset, out] {
+      *out = RunTechnique(*technique, dataset);
+    });
+  }
+  pool.Wait();
   return results;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/blocking.h"
+#include "engine/execution_spec.h"
 #include "eval/metrics.h"
 
 namespace sablock::eval {
@@ -23,10 +24,27 @@ struct TechniqueResult {
 TechniqueResult RunTechnique(const core::BlockingTechnique& technique,
                              const data::Dataset& dataset);
 
+/// Runs a technique through the sharded execution engine under `spec`,
+/// timing the sharded block construction (slice + per-shard runs + merge).
+/// With spec {threads=1, shards=1} this is RunTechnique through the
+/// engine's fast path.
+TechniqueResult RunTechniqueSharded(const core::BlockingTechnique& technique,
+                                    const data::Dataset& dataset,
+                                    const engine::ExecutionSpec& spec);
+
 /// Runs every setting and returns all results.
 std::vector<TechniqueResult> RunAll(
     const std::vector<std::unique_ptr<core::BlockingTechnique>>& settings,
     const data::Dataset& dataset);
+
+/// RunAll sweeping the settings across a thread pool: each technique runs
+/// single-threaded (unsharded, identical blocks to RunAll) but up to
+/// `threads` techniques run concurrently. Results keep the input order.
+/// Per-technique wall times include scheduling contention, so prefer
+/// RunAll when individual timings are the measurement.
+std::vector<TechniqueResult> RunAllParallel(
+    const std::vector<std::unique_ptr<core::BlockingTechnique>>& settings,
+    const data::Dataset& dataset, int threads);
 
 /// Index of the result with the highest FM (the paper reports each
 /// technique at its best-performing setting). Returns 0 for empty input.

@@ -1,0 +1,278 @@
+#include "engine/sharded_executor.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "common/check.h"
+#include "core/block_sink.h"
+#include "core/blocking.h"
+#include "data/voter_generator.h"
+#include "engine/execution_spec.h"
+#include "eval/harness.h"
+#include "eval/metrics.h"
+#include "gtest/gtest.h"
+
+namespace sablock::engine {
+namespace {
+
+using core::Block;
+using core::BlockCollection;
+using core::BlockingTechnique;
+
+data::Dataset SmallVoter(size_t records = 2000) {
+  data::VoterGeneratorConfig config;
+  config.num_records = records;
+  config.seed = 97;
+  return GenerateVoterLike(config);
+}
+
+std::unique_ptr<BlockingTechnique> FromSpec(const std::string& spec) {
+  std::unique_ptr<BlockingTechnique> technique;
+  Status status = api::BlockerRegistry::Global().Create(spec, &technique);
+  // Abort (not EXPECT) so a bad spec fails with the Status message
+  // instead of a null dereference in the calling test.
+  SABLOCK_CHECK_MSG(status.ok(), status.message().c_str());
+  return technique;
+}
+
+std::vector<Block> SortedBlocks(const BlockCollection& collection) {
+  std::vector<Block> blocks = collection.blocks();
+  std::sort(blocks.begin(), blocks.end());
+  return blocks;
+}
+
+// --- MakeShardRanges ------------------------------------------------------
+
+TEST(MakeShardRangesTest, PartitionsAllRecordsContiguously) {
+  std::vector<ShardRange> ranges = MakeShardRanges(103, 8);
+  ASSERT_EQ(ranges.size(), 8u);
+  EXPECT_EQ(ranges.front().begin, 0u);
+  EXPECT_EQ(ranges.back().end, 103u);
+  for (size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].begin, ranges[i - 1].end);
+  }
+  // Near-equal: sizes differ by at most one, longer shards first.
+  for (const ShardRange& r : ranges) {
+    EXPECT_GE(r.size(), 103u / 8);
+    EXPECT_LE(r.size(), 103u / 8 + 1);
+  }
+}
+
+TEST(MakeShardRangesTest, MoreShardsThanRecordsYieldsOnePerRecord) {
+  std::vector<ShardRange> ranges = MakeShardRanges(3, 16);
+  ASSERT_EQ(ranges.size(), 3u);
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_EQ(ranges[i].begin, i);
+    EXPECT_EQ(ranges[i].size(), 1u);
+  }
+}
+
+TEST(MakeShardRangesTest, EmptyDatasetYieldsNoRanges) {
+  EXPECT_TRUE(MakeShardRanges(0, 4).empty());
+}
+
+// --- ExecutionSpec --------------------------------------------------------
+
+TEST(ExecutionSpecTest, ParsesFullSpec) {
+  ExecutionSpec spec;
+  Status status =
+      ExecutionSpec::Parse("threads=4,shards=8,merge=stream", &spec);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(spec.threads, 4);
+  EXPECT_EQ(spec.shards, 8);
+  EXPECT_EQ(spec.merge, ExecutionSpec::Merge::kStream);
+}
+
+TEST(ExecutionSpecTest, EmptyTextIsDefaultSpec) {
+  ExecutionSpec spec;
+  ASSERT_TRUE(ExecutionSpec::Parse("", &spec).ok());
+  EXPECT_EQ(spec.threads, 1);
+  EXPECT_EQ(spec.shards, 0);
+  EXPECT_EQ(spec.ResolvedShards(), 1);
+  EXPECT_EQ(spec.merge, ExecutionSpec::Merge::kCollect);
+}
+
+TEST(ExecutionSpecTest, ShardsZeroFollowsThreads) {
+  ExecutionSpec spec;
+  ASSERT_TRUE(ExecutionSpec::Parse("threads=6", &spec).ok());
+  EXPECT_EQ(spec.ResolvedShards(), 6);
+}
+
+TEST(ExecutionSpecTest, RejectsBadInput) {
+  ExecutionSpec spec;
+  EXPECT_FALSE(ExecutionSpec::Parse("threads=0", &spec).ok());
+  EXPECT_FALSE(ExecutionSpec::Parse("shards=-1", &spec).ok());
+  EXPECT_FALSE(ExecutionSpec::Parse("merge=sideways", &spec).ok());
+  EXPECT_FALSE(ExecutionSpec::Parse("workers=3", &spec).ok());
+  EXPECT_FALSE(ExecutionSpec::Parse("threads", &spec).ok());
+}
+
+TEST(ExecutionSpecTest, ToStringRoundTrips) {
+  ExecutionSpec spec;
+  spec.threads = 3;
+  spec.shards = 12;
+  spec.merge = ExecutionSpec::Merge::kStream;
+  ExecutionSpec parsed;
+  ASSERT_TRUE(ExecutionSpec::Parse(spec.ToString(), &parsed).ok());
+  EXPECT_EQ(parsed.threads, 3);
+  EXPECT_EQ(parsed.shards, 12);
+  EXPECT_EQ(parsed.merge, ExecutionSpec::Merge::kStream);
+}
+
+// --- ShardedExecutor ------------------------------------------------------
+
+TEST(ShardedExecutorTest, SingleShardMatchesDirectRun) {
+  data::Dataset dataset = SmallVoter(500);
+  std::unique_ptr<BlockingTechnique> technique =
+      FromSpec("tblo:attrs=first_name+last_name");
+  BlockCollection direct = technique->Run(dataset);
+
+  ExecutionSpec spec;  // threads=1, shards -> 1
+  BlockCollection sharded =
+      ShardedExecutor(spec).ExecuteCollect(*technique, dataset);
+  EXPECT_EQ(sharded.blocks(), direct.blocks());
+}
+
+TEST(ShardedExecutorTest, CollectMergeIsDeterministicAcrossThreadCounts) {
+  data::Dataset dataset = SmallVoter(1000);
+  std::unique_ptr<BlockingTechnique> technique =
+      FromSpec("sa-lsh:domain=voter,k=4,l=8,q=2,w=5,mode=or");
+
+  ExecutionSpec base;
+  base.threads = 1;
+  base.shards = 8;
+  BlockCollection reference =
+      ShardedExecutor(base).ExecuteCollect(*technique, dataset);
+  EXPECT_GT(reference.NumBlocks(), 0u);
+
+  for (int threads : {2, 8}) {
+    ExecutionSpec spec = base;
+    spec.threads = threads;
+    BlockCollection merged =
+        ShardedExecutor(spec).ExecuteCollect(*technique, dataset);
+    // Bit-identical, including block order (stable shard/block ordering).
+    EXPECT_EQ(merged.blocks(), reference.blocks())
+        << "threads=" << threads;
+  }
+}
+
+TEST(ShardedExecutorTest, StreamModeEmitsSameBlockMultisetAsCollect) {
+  data::Dataset dataset = SmallVoter(800);
+  std::unique_ptr<BlockingTechnique> technique =
+      FromSpec("tblo:attrs=last_name");
+
+  ExecutionSpec spec;
+  spec.threads = 4;
+  spec.shards = 8;
+  BlockCollection collected =
+      ShardedExecutor(spec).ExecuteCollect(*technique, dataset);
+
+  spec.merge = ExecutionSpec::Merge::kStream;
+  BlockCollection streamed;
+  ShardedExecutor(spec).Execute(*technique, dataset, streamed);
+  EXPECT_EQ(SortedBlocks(streamed), SortedBlocks(collected));
+}
+
+TEST(ShardedExecutorTest, StreamModeHonoursCappedSinkBackpressure) {
+  data::Dataset dataset = SmallVoter(800);
+  std::unique_ptr<BlockingTechnique> technique =
+      FromSpec("tblo:attrs=last_name");
+
+  BlockCollection collection;
+  core::CappedSink capped(collection, /*comparison_budget=*/10);
+  ExecutionSpec spec;
+  spec.threads = 4;
+  spec.shards = 8;
+  spec.merge = ExecutionSpec::Merge::kStream;
+  ShardedExecutor(spec).Execute(*technique, dataset, capped);
+  EXPECT_TRUE(capped.Done());
+  EXPECT_GE(capped.comparisons(), 10u);
+  EXPECT_EQ(collection.TotalComparisons(), capped.comparisons());
+}
+
+TEST(ShardedExecutorTest, EmptyDatasetProducesNoBlocks) {
+  data::Dataset dataset = SmallVoter(1).Prefix(0);
+  std::unique_ptr<BlockingTechnique> technique =
+      FromSpec("tblo:attrs=last_name");
+  ExecutionSpec spec;
+  spec.threads = 4;
+  spec.shards = 4;
+  BlockCollection merged =
+      ShardedExecutor(spec).ExecuteCollect(*technique, dataset);
+  EXPECT_EQ(merged.NumBlocks(), 0u);
+}
+
+// --- determinism of Metrics (the reproducibility guarantee) ---------------
+
+void ExpectIdenticalMetricsAcrossThreadCounts(const std::string& spec_text) {
+  SCOPED_TRACE(spec_text);
+  data::Dataset dataset = SmallVoter(2000);
+  std::unique_ptr<BlockingTechnique> technique = FromSpec(spec_text);
+
+  ExecutionSpec spec;
+  spec.shards = 8;  // pinned: the computation is defined by the shards
+  spec.threads = 1;
+  eval::TechniqueResult reference =
+      eval::RunTechniqueSharded(*technique, dataset, spec);
+
+  for (int threads : {2, 8}) {
+    spec.threads = threads;
+    eval::TechniqueResult result =
+        eval::RunTechniqueSharded(*technique, dataset, spec);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    EXPECT_EQ(result.metrics.pc, reference.metrics.pc);
+    EXPECT_EQ(result.metrics.pq, reference.metrics.pq);
+    EXPECT_EQ(result.metrics.rr, reference.metrics.rr);
+    EXPECT_EQ(result.metrics.fm, reference.metrics.fm);
+    EXPECT_EQ(result.metrics.distinct_pairs,
+              reference.metrics.distinct_pairs);
+    EXPECT_EQ(result.metrics.true_pairs, reference.metrics.true_pairs);
+    EXPECT_EQ(result.metrics.total_comparisons,
+              reference.metrics.total_comparisons);
+    EXPECT_EQ(result.metrics.num_blocks, reference.metrics.num_blocks);
+    EXPECT_EQ(result.metrics.max_block_size,
+              reference.metrics.max_block_size);
+  }
+}
+
+TEST(EngineDeterminismTest, SaLshMetricsIdenticalAtOneTwoEightThreads) {
+  ExpectIdenticalMetricsAcrossThreadCounts(
+      "sa-lsh:domain=voter,k=4,l=8,q=2,w=5,mode=or");
+}
+
+TEST(EngineDeterminismTest,
+     StandardBlockingMetricsIdenticalAtOneTwoEightThreads) {
+  ExpectIdenticalMetricsAcrossThreadCounts(
+      "tblo:attrs=first_name+last_name");
+}
+
+// --- eval integration -----------------------------------------------------
+
+TEST(RunAllParallelTest, MatchesSequentialRunAll) {
+  data::Dataset dataset = SmallVoter(600);
+  std::vector<std::unique_ptr<BlockingTechnique>> settings;
+  settings.push_back(FromSpec("tblo:attrs=last_name"));
+  settings.push_back(FromSpec("tblo:attrs=first_name"));
+  settings.push_back(FromSpec("sor-a:window=3,attrs=last_name"));
+  settings.push_back(FromSpec("lsh:k=4,l=8,q=2,attrs=first_name+last_name"));
+
+  std::vector<eval::TechniqueResult> sequential =
+      eval::RunAll(settings, dataset);
+  std::vector<eval::TechniqueResult> parallel =
+      eval::RunAllParallel(settings, dataset, 4);
+
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (size_t i = 0; i < sequential.size(); ++i) {
+    EXPECT_EQ(parallel[i].name, sequential[i].name);
+    EXPECT_EQ(parallel[i].metrics.distinct_pairs,
+              sequential[i].metrics.distinct_pairs);
+    EXPECT_EQ(parallel[i].metrics.pc, sequential[i].metrics.pc);
+    EXPECT_EQ(parallel[i].metrics.pq, sequential[i].metrics.pq);
+  }
+}
+
+}  // namespace
+}  // namespace sablock::engine

@@ -82,6 +82,21 @@ TEST(DatasetTest, PrefixSubset) {
   EXPECT_EQ(d.Prefix(0).size(), 0u);
 }
 
+TEST(DatasetTest, SliceOffsetsRecordIds) {
+  Dataset d = TwoColumnDataset();
+  Dataset s = d.Slice(1, 3);
+  ASSERT_EQ(s.size(), 2u);
+  // Slice-local id i is global id begin + i (the engine's shard mapping).
+  EXPECT_EQ(s.Value(0, "name"), "alicia");
+  EXPECT_EQ(s.Value(1, "name"), "bob");
+  EXPECT_EQ(s.entity(0), 0u);
+  EXPECT_EQ(s.entity(1), 1u);
+  // End clamped to the dataset; degenerate ranges are empty.
+  EXPECT_EQ(d.Slice(2, 100).size(), 2u);
+  EXPECT_EQ(d.Slice(3, 3).size(), 0u);
+  EXPECT_EQ(d.Slice(100, 200).size(), 0u);
+}
+
 TEST(DatasetTest, EmptyDataset) {
   Dataset d{Schema({"a"})};
   EXPECT_TRUE(d.empty());

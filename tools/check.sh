@@ -1,8 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure + build + ctest, failing on first error.
 # Mirrors the command in ROADMAP.md exactly.
+#
+# Optional: `tools/check.sh --tsan` additionally builds the tree with
+# -DSABLOCK_SANITIZE=thread (into build-tsan/) and runs the concurrency
+# tests — thread pool, concurrent sinks, sharded execution engine —
+# under ThreadSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  cmake -B build-tsan -S . -DSABLOCK_SANITIZE=thread
+  cmake --build build-tsan -j \
+    --target thread_pool_test concurrent_sink_test engine_test
+  cd build-tsan
+  ctest --output-on-failure \
+    -R '^(thread_pool_test|concurrent_sink_test|engine_test)$'
+  exit 0
+fi
 
 cmake -B build -S .
 cmake --build build -j
