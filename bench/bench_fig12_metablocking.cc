@@ -70,7 +70,8 @@ void RunDataset(const char* title, const sablock::data::Dataset& d,
   sp.mode = SemanticMode::kOr;
   sp.seed = 11;
   sablock::eval::Metrics sa = sablock::eval::Evaluate(
-      d, SemanticAwareLshBlocker(lsh_params, sp, domain.semantics).Run(d));
+      d, sablock::bench::RunStreaming(
+             SemanticAwareLshBlocker(lsh_params, sp, domain.semantics), d));
   table.AddRow({"SA-LSH", "-", FormatDouble(sa.pc, 3),
                 FormatDouble(sa.pq_star, 4), FormatDouble(sa.fm_star, 3)});
   table.Print();

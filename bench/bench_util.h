@@ -88,6 +88,16 @@ struct TechniqueGrid {
   std::vector<std::unique_ptr<core::BlockingTechnique>> settings;
 };
 
+/// Runs a technique through the streaming Run(dataset, sink) API and
+/// materializes the blocks (the benches' replacement for the legacy
+/// collecting wrapper).
+inline core::BlockCollection RunStreaming(
+    const core::BlockingTechnique& technique, const data::Dataset& dataset) {
+  core::BlockCollection blocks;
+  technique.Run(dataset, blocks);
+  return blocks;
+}
+
 /// Builds one technique from a registry spec string; malformed specs are a
 /// programming error in the bench and abort.
 inline std::unique_ptr<core::BlockingTechnique> FromSpec(

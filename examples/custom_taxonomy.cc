@@ -71,13 +71,15 @@ int main() {
   lsh.attributes = {"name", "brand"};
 
   sablock::core::LshBlocker textual(lsh);
-  sablock::core::BlockCollection text_blocks = textual.Run(d);
+  sablock::core::BlockCollection text_blocks;  // collecting sink
+  textual.Run(d, text_blocks);
 
   sablock::core::SemanticParams sem;
   sem.w = 5;  // full signature width
   sem.mode = sablock::core::SemanticMode::kOr;
   sablock::core::SemanticAwareLshBlocker sa(lsh, sem, semantics);
-  sablock::core::BlockCollection sa_blocks = sa.Run(d);
+  sablock::core::BlockCollection sa_blocks;
+  sa.Run(d, sa_blocks);
 
   std::printf(
       "textual LSH : %s\n",

@@ -65,16 +65,16 @@ int main() {
 
   // 2. Plain textual LSH blocking ("B1" of Fig. 1): l tables of k minhash
   //    rows over q-gram shingles of the chosen attributes.
-  sablock::core::BlockCollection textual =
-      MustCreate("lsh:k=2,l=24,q=3,attrs=authors+title")->Run(d);
+  sablock::core::BlockCollection textual;  // a BlockCollection is a sink
+  MustCreate("lsh:k=2,l=24,q=3,attrs=authors+title")->Run(d, textual);
 
   // 3. Semantic-aware LSH blocking ("B3"): the bib domain bundles the
   //    Fig. 3 taxonomy with the Table 1 semantic function; a full-width OR
   //    semantic hash keeps only candidates sharing a semantic feature.
-  sablock::core::BlockCollection combined =
-      MustCreate("sa-lsh:k=2,l=24,q=3,attrs=authors+title,w=5,mode=or,"
-                 "domain=bib")
-          ->Run(d);
+  sablock::core::BlockCollection combined;
+  MustCreate("sa-lsh:k=2,l=24,q=3,attrs=authors+title,w=5,mode=or,"
+             "domain=bib")
+      ->Run(d, combined);
 
   // 4. Compare.
   sablock::eval::Metrics m_text = sablock::eval::Evaluate(d, textual);

@@ -77,15 +77,18 @@ int main(int argc, char** argv) {
   lsh.q = 2;
   lsh.attributes = {"first_name", "last_name"};
 
-  Report("LSH", link, LshBlocker(lsh).Run(link.merged));
+  sablock::core::BlockCollection lsh_blocks;  // collecting sink
+  LshBlocker(lsh).Run(link.merged, lsh_blocks);
+  Report("LSH", link, lsh_blocks);
 
   sablock::core::Domain domain = sablock::core::MakeVoterDomain();
   SemanticParams sem;
   sem.w = 12;
   sem.mode = SemanticMode::kOr;
-  Report("SA-LSH", link,
-         SemanticAwareLshBlocker(lsh, sem, domain.semantics)
-             .Run(link.merged));
+  sablock::core::BlockCollection sa_blocks;
+  SemanticAwareLshBlocker(lsh, sem, domain.semantics)
+      .Run(link.merged, sa_blocks);
+  Report("SA-LSH", link, sa_blocks);
 
   std::printf(
       "\nThe semantic dimension pays off in linkage exactly as in\n"

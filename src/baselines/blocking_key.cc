@@ -7,48 +7,81 @@
 
 namespace sablock::baselines {
 
+namespace {
+
+/// Encodes one already normalized component value into `key`.
+void AppendComponent(const KeyComponent& comp, std::string_view value,
+                     std::string* key) {
+  if (value.empty()) return;
+  switch (comp.encoding) {
+    case KeyComponent::Encoding::kExact:
+      *key += value;
+      break;
+    case KeyComponent::Encoding::kPrefix:
+      *key += value.substr(
+          0, std::min<size_t>(value.size(),
+                              static_cast<size_t>(comp.prefix_len)));
+      break;
+    case KeyComponent::Encoding::kSoundex: {
+      std::vector<std::string> words = sablock::SplitWords(value);
+      if (!words.empty()) *key += text::Soundex(words.front());
+      break;
+    }
+    case KeyComponent::Encoding::kNysiis: {
+      std::vector<std::string> words = sablock::SplitWords(value);
+      if (!words.empty()) *key += text::Nysiis(words.front());
+      break;
+    }
+    case KeyComponent::Encoding::kFirstWord: {
+      std::vector<std::string> words = sablock::SplitWords(value);
+      if (!words.empty()) *key += words.front();
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+KeyBuilder::KeyBuilder(const data::Dataset& dataset,
+                       const BlockingKeyDef& def)
+    : def_(def), features_(dataset.features()) {
+  columns_.reserve(def.components.size());
+  for (const KeyComponent& comp : def.components) {
+    // The single-attribute text column is exactly
+    // NormalizeForMatching(Value(id, attribute)), cached once per dataset.
+    columns_.push_back(features_.TextsFor({comp.attribute}));
+  }
+}
+
+std::string KeyBuilder::Key(data::RecordId id) const {
+  std::string key;
+  for (size_t c = 0; c < def_.components.size(); ++c) {
+    AppendComponent(def_.components[c], columns_[c].Text(id), &key);
+  }
+  return key;
+}
+
 std::string MakeKey(const data::Dataset& dataset, data::RecordId id,
                     const BlockingKeyDef& def) {
+  // One-shot path: compute this record's key directly — building (and
+  // permanently caching) full-dataset text columns for a single key
+  // would be O(records); that path belongs to KeyBuilder.
   std::string key;
   for (const KeyComponent& comp : def.components) {
     std::string value =
         sablock::NormalizeForMatching(dataset.Value(id, comp.attribute));
-    if (value.empty()) continue;
-    switch (comp.encoding) {
-      case KeyComponent::Encoding::kExact:
-        key += value;
-        break;
-      case KeyComponent::Encoding::kPrefix:
-        key += value.substr(
-            0, std::min<size_t>(value.size(),
-                                static_cast<size_t>(comp.prefix_len)));
-        break;
-      case KeyComponent::Encoding::kSoundex: {
-        std::vector<std::string> words = sablock::SplitWords(value);
-        if (!words.empty()) key += text::Soundex(words.front());
-        break;
-      }
-      case KeyComponent::Encoding::kNysiis: {
-        std::vector<std::string> words = sablock::SplitWords(value);
-        if (!words.empty()) key += text::Nysiis(words.front());
-        break;
-      }
-      case KeyComponent::Encoding::kFirstWord: {
-        std::vector<std::string> words = sablock::SplitWords(value);
-        if (!words.empty()) key += words.front();
-        break;
-      }
-    }
+    AppendComponent(comp, value, &key);
   }
   return key;
 }
 
 std::vector<std::string> MakeAllKeys(const data::Dataset& dataset,
                                      const BlockingKeyDef& def) {
+  KeyBuilder builder(dataset, def);
   std::vector<std::string> keys;
   keys.reserve(dataset.size());
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    keys.push_back(MakeKey(dataset, id, def));
+    keys.push_back(builder.Key(id));
   }
   return keys;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "data/record.h"
+#include "features/feature_store.h"
 
 namespace sablock::baselines {
 
@@ -29,8 +30,26 @@ struct BlockingKeyDef {
   std::vector<KeyComponent> components;
 };
 
-/// Computes the BKV of one record (components joined without separator;
-/// missing values contribute nothing).
+/// Per-dataset BKV generator: resolves each component's normalized-value
+/// column from the dataset's FeatureStore once, then builds keys with no
+/// per-record normalization or attribute lookup. Every key-based
+/// technique should construct one of these per Run instead of calling
+/// MakeKey in a loop.
+class KeyBuilder {
+ public:
+  KeyBuilder(const data::Dataset& dataset, const BlockingKeyDef& def);
+
+  /// The BKV of one record (components joined without separator; missing
+  /// values contribute nothing).
+  std::string Key(data::RecordId id) const;
+
+ private:
+  BlockingKeyDef def_;  // owned copy: safe for temporary-def callers
+  features::FeatureView features_;  // keeps the store alive
+  std::vector<features::FeatureView::TextHandle> columns_;  // per component
+};
+
+/// One-shot convenience around KeyBuilder (prefer KeyBuilder in loops).
 std::string MakeKey(const data::Dataset& dataset, data::RecordId id,
                     const BlockingKeyDef& def);
 

@@ -21,17 +21,20 @@ class CanopyIndex {
  public:
   CanopyIndex(const data::Dataset& dataset, const BlockingKeyDef& key,
               CanopySimilarity similarity) {
-    std::vector<std::string> texts(dataset.size());
+    KeyBuilder keys(dataset, key);
+    // Tokenize each BKV exactly once; the word lists feed the inverted
+    // index, the Jaccard token sets and the TF-IDF vectors.
+    std::vector<std::vector<std::string>> words(dataset.size());
     for (data::RecordId id = 0; id < dataset.size(); ++id) {
-      texts[id] = MakeKey(dataset, id, key);
+      words[id] = sablock::SplitWords(keys.Key(id));
     }
     if (similarity == CanopySimilarity::kTfIdfCosine) {
-      vectorizer_.Build(texts);
+      vectorizer_.BuildFromWords(words);
     }
     vectors_.resize(dataset.size());
     token_sets_.resize(dataset.size());
     for (data::RecordId id = 0; id < dataset.size(); ++id) {
-      std::vector<std::string> tokens = sablock::SplitWords(texts[id]);
+      std::vector<std::string> tokens = words[id];
       std::sort(tokens.begin(), tokens.end());
       tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
       for (const std::string& t : tokens) {
@@ -43,7 +46,7 @@ class CanopyIndex {
       }
       std::sort(token_sets_[id].begin(), token_sets_[id].end());
       if (similarity == CanopySimilarity::kTfIdfCosine) {
-        vectors_[id] = vectorizer_.Vectorize(texts[id]);
+        vectors_[id] = vectorizer_.VectorizeWords(words[id]);
       }
     }
     similarity_ = similarity;

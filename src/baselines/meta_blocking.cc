@@ -9,6 +9,7 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "features/feature_store.h"
 
 namespace sablock::baselines {
 
@@ -36,21 +37,32 @@ const char* MetaPruningName(MetaPruning p) {
 core::BlockCollection TokenBlocking(
     const data::Dataset& dataset, const std::vector<std::string>& attributes,
     size_t max_block_size) {
-  std::unordered_map<std::string, core::Block> buckets;
+  // Postings over the interned token ids of the shared token column — no
+  // string hashing or tokenization here, just id-indexed appends.
+  features::FeatureView::TokenHandle tokens =
+      dataset.features().TokensFor(attributes);
+  // Postings keyed by token id in a hash map: its footprint follows the
+  // tokens this run actually touches, not token_limit — which covers the
+  // whole column even when this run is one small shard slice of it.
+  std::unordered_map<features::TokenId, core::Block> postings;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    std::string text = dataset.ConcatenatedValues(id, attributes);
-    std::vector<std::string> tokens = sablock::SplitWords(text);
-    std::sort(tokens.begin(), tokens.end());
-    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
-    for (std::string& t : tokens) {
-      buckets[std::move(t)].push_back(id);
+    for (features::TokenId token : tokens.Tokens(id)) {
+      postings[token].push_back(id);
     }
   }
-  core::BlockCollection out;
-  for (auto& [token, block] : buckets) {
+  // Emit in canonical content order: downstream pruning should see blocks
+  // ordered by what they contain, not by how the vocabulary happened to
+  // be discovered.
+  std::vector<core::Block> kept;
+  for (auto& [token, block] : postings) {
     if (block.size() >= 2 && block.size() <= max_block_size) {
-      out.Add(std::move(block));
+      kept.push_back(std::move(block));
     }
+  }
+  std::sort(kept.begin(), kept.end());
+  core::BlockCollection out;
+  for (core::Block& block : kept) {
+    out.Add(std::move(block));
   }
   return out;
 }

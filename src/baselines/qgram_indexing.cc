@@ -78,9 +78,10 @@ void GenerateSubListKeys(const std::vector<uint64_t>& grams, size_t max_del,
 
 void QGramIndexing::Run(const data::Dataset& dataset,
                         core::BlockSink& sink) const {
+  KeyBuilder keys(dataset, key_);
   std::unordered_map<uint64_t, core::Block> buckets;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    std::string bkv = MakeKey(dataset, id, key_);
+    std::string bkv = keys.Key(id);
     if (bkv.empty()) continue;
     // Ordered gram list (not a set): QGr keys preserve gram order.
     std::vector<std::string> gram_strings = text::QGrams(bkv, q_);

@@ -6,9 +6,10 @@ namespace sablock::baselines {
 
 void StandardBlocking::Run(const data::Dataset& dataset,
                            core::BlockSink& sink) const {
+  KeyBuilder keys(dataset, key_);
   std::unordered_map<std::string, core::Block> buckets;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    std::string key = MakeKey(dataset, id, key_);
+    std::string key = keys.Key(id);
     if (key.empty()) continue;  // records without a key are not blocked
     buckets[key].push_back(id);
   }

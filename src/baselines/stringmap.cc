@@ -156,10 +156,11 @@ std::string StringMapThreshold::name() const {
 
 void StringMapThreshold::Run(const data::Dataset& dataset,
                              core::BlockSink& sink) const {
+  KeyBuilder keys(dataset, key_);
   std::vector<std::string> bkvs(dataset.size());
   double avg_len = 0.0;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    bkvs[id] = MakeKey(dataset, id, key_);
+    bkvs[id] = keys.Key(id);
     avg_len += static_cast<double>(bkvs[id].size());
   }
   if (!bkvs.empty()) avg_len /= static_cast<double>(bkvs.size());
@@ -214,9 +215,10 @@ std::string StringMapNearestNeighbour::name() const {
 
 void StringMapNearestNeighbour::Run(const data::Dataset& dataset,
                                     core::BlockSink& sink) const {
+  KeyBuilder keys(dataset, key_);
   std::vector<std::string> bkvs(dataset.size());
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    bkvs[id] = MakeKey(dataset, id, key_);
+    bkvs[id] = keys.Key(id);
   }
   StringMapEmbedding embedding(dimensions_, seed_);
   std::vector<std::vector<double>> points = embedding.Embed(bkvs);

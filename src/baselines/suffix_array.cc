@@ -72,9 +72,10 @@ std::string SuffixArrayBlocking::name() const {
 
 void SuffixArrayBlocking::Run(const data::Dataset& dataset,
                               core::BlockSink& sink) const {
+  KeyBuilder keys(dataset, key_);
   SuffixIndex index;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    AddSuffixes(MakeKey(dataset, id, key_), id, min_suffix_len_, &index);
+    AddSuffixes(keys.Key(id), id, min_suffix_len_, &index);
   }
   EmitBlocks(std::move(index), max_block_size_, sink);
 }
@@ -95,10 +96,10 @@ std::string SuffixArrayAllSubstrings::name() const {
 
 void SuffixArrayAllSubstrings::Run(const data::Dataset& dataset,
                                    core::BlockSink& sink) const {
+  KeyBuilder keys(dataset, key_);
   SuffixIndex index;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    AddAllSubstrings(MakeKey(dataset, id, key_), id, min_suffix_len_,
-                     &index);
+    AddAllSubstrings(keys.Key(id), id, min_suffix_len_, &index);
   }
   EmitBlocks(std::move(index), max_block_size_, sink);
 }
@@ -122,9 +123,10 @@ std::string RobustSuffixArrayBlocking::name() const {
 
 void RobustSuffixArrayBlocking::Run(const data::Dataset& dataset,
                                     core::BlockSink& sink) const {
+  KeyBuilder keys(dataset, key_);
   SuffixIndex index;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    AddSuffixes(MakeKey(dataset, id, key_), id, min_suffix_len_, &index);
+    AddSuffixes(keys.Key(id), id, min_suffix_len_, &index);
   }
   text::StringSimilarityFn sim = text::SimilarityByName(similarity_name_);
 

@@ -8,6 +8,7 @@
 #include "common/hashing.h"
 #include "core/block_utils.h"
 #include "core/minhash.h"
+#include "features/feature_store.h"
 
 namespace sablock::core {
 
@@ -31,17 +32,20 @@ std::string IterativeLshBlocker::name() const {
 void IterativeLshBlocker::Run(const data::Dataset& dataset,
                               BlockSink& sink) const {
   const int num_hashes = params_.k * params_.l;
-  Shingler shingler(params_.attributes, params_.q);
   MinHasher hasher(num_hashes, params_.seed);
 
   // Super-record state: each group starts as one record; merging unions
-  // shingle sets. `group_of[r]` tracks each record's current group.
+  // shingle sets. The seed sets are copied out of the shared feature
+  // cache because merging mutates them. `group_of[r]` tracks each
+  // record's current group.
+  features::FeatureView::ShingleHandle shingle_cache =
+      dataset.features().ShinglesFor(params_.attributes, params_.q);
   std::vector<std::vector<uint64_t>> shingles;
   std::vector<Block> members;
   std::vector<uint32_t> group_of(dataset.size());
   shingles.reserve(dataset.size());
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    shingles.push_back(shingler.Shingles(dataset, id));
+    shingles.push_back(shingle_cache.Shingles(id));
     members.push_back({id});
     group_of[id] = id;
   }

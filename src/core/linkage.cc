@@ -15,11 +15,11 @@ LinkageDataset MergeForLinkage(const data::Dataset& a,
   LinkageDataset out;
   out.merged = data::Dataset(a.schema());
   for (data::RecordId id = 0; id < a.size(); ++id) {
-    out.merged.Add(a.record(id), a.entity(id));
+    out.merged.AddRow(a.Values(id), a.entity(id));
   }
   out.boundary = static_cast<data::RecordId>(a.size());
   for (data::RecordId id = 0; id < b.size(); ++id) {
-    out.merged.Add(b.record(id), b.entity(id));
+    out.merged.AddRow(b.Values(id), b.entity(id));
   }
   return out;
 }

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/hashing.h"
 #include "common/random.h"
+#include "features/feature_store.h"
 
 namespace sablock::core {
 
@@ -34,15 +35,21 @@ void EmitBlocks(std::unordered_map<uint64_t, Block>&& buckets,
 
 }  // namespace
 
-std::vector<std::vector<uint64_t>> ComputeMinhashSignatures(
+features::FeatureView::SignatureHandle MinhashSignatures(
     const data::Dataset& dataset, const LshParams& params) {
   SABLOCK_CHECK(params.k > 0 && params.l > 0);
-  Shingler shingler(params.attributes, params.q);
-  MinHasher hasher(params.k * params.l, params.seed);
+  return dataset.features().SignaturesFor(params.attributes, params.q,
+                                          params.k * params.l, params.seed);
+}
+
+std::vector<std::vector<uint64_t>> ComputeMinhashSignatures(
+    const data::Dataset& dataset, const LshParams& params) {
+  features::FeatureView::SignatureHandle cached =
+      MinhashSignatures(dataset, params);
   std::vector<std::vector<uint64_t>> sigs;
   sigs.reserve(dataset.size());
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    sigs.push_back(hasher.Signature(shingler.Shingles(dataset, id)));
+    sigs.push_back(cached.Signature(id));
   }
   return sigs;
 }
@@ -55,15 +62,15 @@ std::string LshBlocker::name() const {
 }
 
 void LshBlocker::Run(const data::Dataset& dataset, BlockSink& sink) const {
-  std::vector<std::vector<uint64_t>> sigs =
-      ComputeMinhashSignatures(dataset, params_);
+  features::FeatureView::SignatureHandle sigs =
+      MinhashSignatures(dataset, params_);
   for (int t = 0; t < params_.l; ++t) {
     if (sink.Done()) return;
     std::unordered_map<uint64_t, Block> buckets;
     buckets.reserve(dataset.size());
     for (data::RecordId id = 0; id < dataset.size(); ++id) {
-      if (IsEmptySignature(sigs[id])) continue;
-      buckets[BandKey(sigs[id], t, params_.k)].push_back(id);
+      if (IsEmptySignature(sigs.Signature(id))) continue;
+      buckets[BandKey(sigs.Signature(id), t, params_.k)].push_back(id);
     }
     EmitBlocks(std::move(buckets), sink);
   }
@@ -88,8 +95,8 @@ std::string SemanticAwareLshBlocker::name() const {
 
 void SemanticAwareLshBlocker::Run(const data::Dataset& dataset,
                                   BlockSink& sink) const {
-  std::vector<std::vector<uint64_t>> sigs =
-      ComputeMinhashSignatures(dataset, lsh_params_);
+  features::FeatureView::SignatureHandle sigs =
+      MinhashSignatures(dataset, lsh_params_);
 
   const Taxonomy& taxonomy = semantics_->taxonomy();
   std::vector<std::vector<ConceptId>> zetas =
@@ -118,8 +125,8 @@ void SemanticAwareLshBlocker::Run(const data::Dataset& dataset,
     std::unordered_map<uint64_t, Block> buckets;
     buckets.reserve(dataset.size());
     for (data::RecordId id = 0; id < dataset.size(); ++id) {
-      if (IsEmptySignature(sigs[id])) continue;
-      uint64_t band = BandKey(sigs[id], t, lsh_params_.k);
+      if (IsEmptySignature(sigs.Signature(id))) continue;
+      uint64_t band = BandKey(sigs.Signature(id), t, lsh_params_.k);
       const SemSignature& sem = sem_sigs[id];
       if (sem_params_.mode == SemanticMode::kAnd) {
         bool all_set = true;

@@ -9,6 +9,7 @@
 #include "core/minhash.h"
 #include "core/semantic.h"
 #include "core/semhash.h"
+#include "features/feature_store.h"
 
 namespace sablock::core {
 
@@ -83,8 +84,15 @@ class SemanticAwareLshBlocker : public BlockingTechnique {
   std::shared_ptr<const SemanticFunction> semantics_;
 };
 
-/// Computes minhash signatures for a whole dataset with the given params;
-/// shared by the blockers and exposed for tests and ablation benches.
+/// The cached minhash signatures of a dataset under the given params — a
+/// handle into the dataset's FeatureStore, computed on first request and
+/// shared by every LSH-family blocker (and engine shard) using the same
+/// (attributes, q, k·l, seed). This is what the blockers use internally.
+features::FeatureView::SignatureHandle MinhashSignatures(
+    const data::Dataset& dataset, const LshParams& params);
+
+/// Materializing wrapper around MinhashSignatures (copies the cached
+/// signatures out); kept for tests and ablation benches.
 std::vector<std::vector<uint64_t>> ComputeMinhashSignatures(
     const data::Dataset& dataset, const LshParams& params);
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/hashing.h"
 #include "core/minhash.h"
+#include "features/feature_store.h"
 
 namespace sablock::core {
 
@@ -15,7 +16,8 @@ void ComputeTop2MinhashSignatures(
     std::vector<std::vector<uint64_t>>* min2) {
   SABLOCK_CHECK(params.k > 0 && params.l > 0);
   const int num_hashes = params.k * params.l;
-  Shingler shingler(params.attributes, params.q);
+  features::FeatureView::ShingleHandle shingle_cache =
+      dataset.features().ShinglesFor(params.attributes, params.q);
   std::vector<UniversalHash> hashes;
   hashes.reserve(static_cast<size_t>(num_hashes));
   for (int i = 0; i < num_hashes; ++i) {
@@ -26,7 +28,7 @@ void ComputeTop2MinhashSignatures(
   min1->assign(dataset.size(), {});
   min2->assign(dataset.size(), {});
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    std::vector<uint64_t> shingles = shingler.Shingles(dataset, id);
+    const std::vector<uint64_t>& shingles = shingle_cache.Shingles(id);
     std::vector<uint64_t>& m1 = (*min1)[id];
     std::vector<uint64_t>& m2 = (*min2)[id];
     m1.assign(static_cast<size_t>(num_hashes), MinHasher::kEmptySlot);
@@ -127,8 +129,8 @@ void LshForestBlocker::Run(const data::Dataset& dataset,
   // One label sequence of max_depth rows per tree.
   LshParams effective = params_;
   effective.k = max_depth_;
-  std::vector<std::vector<uint64_t>> sigs =
-      ComputeMinhashSignatures(dataset, effective);
+  features::FeatureView::SignatureHandle sigs =
+      MinhashSignatures(dataset, effective);
 
   for (int t = 0; t < params_.l; ++t) {
     if (sink.Done()) return;
@@ -140,7 +142,8 @@ void LshForestBlocker::Run(const data::Dataset& dataset,
     Block all;
     all.reserve(dataset.size());
     for (data::RecordId id = 0; id < dataset.size(); ++id) {
-      if (!sigs[id].empty() && sigs[id][0] != MinHasher::kEmptySlot) {
+      const std::vector<uint64_t>& sig = sigs.Signature(id);
+      if (!sig.empty() && sig[0] != MinHasher::kEmptySlot) {
         all.push_back(id);
       }
     }
@@ -158,7 +161,8 @@ void LshForestBlocker::Run(const data::Dataset& dataset,
       }
       std::unordered_map<uint64_t, Block> children;
       for (data::RecordId id : group) {
-        children[sigs[id][base + static_cast<size_t>(depth)]].push_back(id);
+        children[sigs.Signature(id)[base + static_cast<size_t>(depth)]]
+            .push_back(id);
       }
       for (auto& [label, child] : children) {
         work.emplace_back(std::move(child), depth + 1);

@@ -1,6 +1,7 @@
 #include "core/minhash.h"
 
 #include "common/check.h"
+#include "features/feature_store.h"
 #include "text/qgram.h"
 
 namespace sablock::core {
@@ -37,16 +38,20 @@ double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
 
 std::vector<uint64_t> Shingler::Shingles(const data::Dataset& dataset,
                                          data::RecordId id) const {
-  std::string text = dataset.ConcatenatedValues(id, attributes_);
-  return text::QGramHashes(text, q_);
+  // One-shot path: shingle this record directly — building (and caching)
+  // the full-dataset column for a single probe would be O(records); bulk
+  // consumers go through ShingleAll or a FeatureView::ShingleHandle.
+  return text::QGramHashes(dataset.ConcatenatedValues(id, attributes_), q_);
 }
 
 std::vector<std::vector<uint64_t>> Shingler::ShingleAll(
     const data::Dataset& dataset) const {
+  features::FeatureView::ShingleHandle shingles =
+      dataset.features().ShinglesFor(attributes_, q_);
   std::vector<std::vector<uint64_t>> out;
   out.reserve(dataset.size());
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    out.push_back(Shingles(dataset, id));
+    out.push_back(shingles.Shingles(id));
   }
   return out;
 }

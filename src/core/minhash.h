@@ -42,16 +42,24 @@ class MinHasher {
 /// Converts records to textual shingle sets (Section 5.1, step 1):
 /// the values of the selected attributes are concatenated, normalized
 /// (lower-case, alphanumeric) and cut into distinct hashed q-grams.
+///
+/// Backed by the dataset's shared FeatureStore: the shingle sets for an
+/// (attributes, q) selection are computed once per dataset and reused by
+/// every technique (and every engine shard) that asks again. Returned
+/// references stay valid as long as some dataset sharing the store lives.
 class Shingler {
  public:
   Shingler(std::vector<std::string> attributes, int q)
       : attributes_(std::move(attributes)), q_(q) {}
 
-  /// Sorted distinct 64-bit shingle hashes of one record.
+  /// Sorted distinct 64-bit shingle hashes of one record, computed
+  /// directly (one-shot probe — does not build or touch the dataset's
+  /// feature cache; bulk consumers use ShingleAll or a
+  /// FeatureView::ShingleHandle).
   std::vector<uint64_t> Shingles(const data::Dataset& dataset,
                                  data::RecordId id) const;
 
-  /// Shingles every record.
+  /// Shingles every record (copies out of the cache).
   std::vector<std::vector<uint64_t>> ShingleAll(
       const data::Dataset& dataset) const;
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <unordered_map>
 
 #include "common/check.h"
 #include "common/random.h"
 #include "core/collision.h"
+#include "features/feature_store.h"
 #include "text/qgram.h"
 #include "text/similarity.h"
 
@@ -70,19 +72,17 @@ SimilarityDistribution MeasureTrueMatchSimilarity(
     if (e != data::kUnknownEntity) clusters[e].push_back(id);
   }
 
-  // Pre-compute per-record representations.
-  std::vector<std::string> texts(dataset.size());
-  std::vector<std::vector<uint64_t>> grams(dataset.size());
-  for (auto& [entity, ids] : clusters) {
-    if (ids.size() < 2) continue;
-    for (data::RecordId id : ids) {
-      if (texts[id].empty()) {
-        texts[id] = dataset.ConcatenatedValues(id, options.attributes);
-        if (options.q > 0) {
-          grams[id] = text::QGramHashes(texts[id], options.q);
-        }
-      }
-    }
+  // Per-record representations from the shared feature cache. This
+  // builds the (attributes, q) columns for the whole dataset — more than
+  // the labeled-cluster subset the measurement itself reads — because the
+  // blocker tuned from this measurement runs over the same attributes
+  // and q on all records next: the build is prepaid, not discarded.
+  features::FeatureView features = dataset.features();
+  features::FeatureView::TextHandle texts =
+      features.TextsFor(options.attributes);
+  std::optional<features::FeatureView::ShingleHandle> grams;
+  if (options.q > 0) {
+    grams = features.ShinglesFor(options.attributes, options.q);
   }
 
   struct PairRef {
@@ -106,10 +106,11 @@ SimilarityDistribution MeasureTrueMatchSimilarity(
   SimilarityDistribution dist;
   for (const PairRef& p : pairs) {
     double sim;
-    if (options.q > 0) {
-      sim = text::JaccardSortedHashes(grams[p.a], grams[p.b]);
+    if (grams) {
+      sim = text::JaccardSortedHashes(grams->Shingles(p.a),
+                                      grams->Shingles(p.b));
     } else {
-      sim = text::ExactSimilarity(texts[p.a], texts[p.b]);
+      sim = text::ExactSimilarity(texts.Text(p.a), texts.Text(p.b));
     }
     dist.Add(sim);
   }

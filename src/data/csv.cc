@@ -131,7 +131,7 @@ Status WriteCsv(const std::string& path, const Dataset& dataset,
       out_file << std::to_string(dataset.entity(id));
       first = false;
     }
-    for (const std::string& v : dataset.record(id).values) {
+    for (std::string_view v : dataset.Values(id)) {
       if (!first) out_file << ',';
       out_file << EscapeCsvField(v);
       first = false;

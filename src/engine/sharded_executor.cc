@@ -6,17 +6,18 @@
 #include "common/check.h"
 #include "engine/concurrent_sink.h"
 #include "engine/thread_pool.h"
+#include "features/feature_store.h"
 
 namespace sablock::engine {
 
 namespace {
 
 /// Runs the technique on one shard, translating the shard-local ids the
-/// technique emits back to global ids via `range.begin`. Slice() copies
-/// the shard's records (Σ over shards = one dataset copy per Execute) —
-/// the price of keeping BlockingTechnique::Run a plain const Dataset&; a
-/// zero-copy DatasetView is future work if that copy ever dominates the
-/// per-shard blocking work.
+/// technique emits back to global ids via `range.begin`. Slice() is a
+/// zero-copy view: the shard shares the parent dataset's string arena and
+/// FeatureStore, so per-record features (normalized text, shingle sets,
+/// minhash signatures) are computed once for the whole dataset and reused
+/// by every concurrent shard.
 void RunShard(const core::BlockingTechnique& technique,
               const data::Dataset& dataset, ShardRange range,
               core::BlockSink& shard_sink) {
@@ -66,6 +67,16 @@ void ShardedExecutor::Execute(const core::BlockingTechnique& technique,
     technique.Run(dataset, sink);
     return;
   }
+
+  // Materialize the dataset's feature store *before* slicing so every
+  // shard inherits the same cache instead of lazily creating its own.
+  // Note the cold-start tradeoff: the first shard to request a feature
+  // column builds it for the whole dataset single-threaded (the others
+  // wait on the column's once_flag), in exchange for computing each
+  // column once instead of once per shard. Warm-cache executions — the
+  // steady state for repeated or multi-technique runs — parallelize the
+  // full per-shard work.
+  dataset.features();
 
   const int threads =
       std::min(spec_.threads, static_cast<int>(ranges.size()));

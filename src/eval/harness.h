@@ -20,7 +20,10 @@ struct TechniqueResult {
 };
 
 /// Runs a technique, timing block construction (the Table 3 "Time" column
-/// measures block building only, as in the paper).
+/// measures block building only, as in the paper). Timing is cold-path:
+/// the technique runs against a detached feature cache (Dataset::ColdCopy)
+/// so the reported seconds are end-to-end and independent of which
+/// technique the harness happened to run first.
 TechniqueResult RunTechnique(const core::BlockingTechnique& technique,
                              const data::Dataset& dataset);
 

@@ -1,0 +1,188 @@
+#include "features/feature_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "core/minhash.h"
+#include "text/qgram.h"
+
+namespace sablock::features {
+
+namespace {
+
+// Column keys: attribute names joined with a separator that cannot occur
+// in attribute names coming from CSV headers or generators, plus the
+// numeric parameters for derived columns.
+constexpr char kAttrSep = '\x1f';
+constexpr char kParamSep = '\x1e';
+
+std::string TextKey(const std::vector<std::string>& attributes) {
+  std::string key;
+  for (const std::string& attr : attributes) {
+    key += attr;
+    key += kAttrSep;
+  }
+  return key;
+}
+
+std::string ShingleKey(const std::vector<std::string>& attributes, int q) {
+  std::string key = TextKey(attributes);
+  key += kParamSep;
+  key += std::to_string(q);
+  return key;
+}
+
+std::string SignatureKey(const std::vector<std::string>& attributes, int q,
+                         int num_hashes, uint64_t seed) {
+  std::string key = ShingleKey(attributes, q);
+  key += kParamSep;
+  key += std::to_string(num_hashes);
+  key += kParamSep;
+  key += std::to_string(seed);
+  return key;
+}
+
+}  // namespace
+
+FeatureStore::FeatureStore(const data::Dataset& dataset)
+    : snapshot_(dataset.ColdCopy()) {}
+
+template <typename Column>
+FeatureStore::Entry<Column>& FeatureStore::FindOrCreate(
+    EntryMap<Column>& map, const std::string& key) const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  auto [it, inserted] = map.try_emplace(key, nullptr);
+  if (inserted) it->second = std::make_unique<Entry<Column>>();
+  return *it->second;
+}
+
+const TextColumn& FeatureStore::Texts(
+    const std::vector<std::string>& attributes) const {
+  Entry<TextColumn>& entry = FindOrCreate(texts_, TextKey(attributes));
+  std::call_once(entry.once, [&] {
+    BuildTexts(attributes, &entry.column);
+    text_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return entry.column;
+}
+
+const TokenColumn& FeatureStore::Tokens(
+    const std::vector<std::string>& attributes) const {
+  Entry<TokenColumn>& entry =
+      FindOrCreate(tokens_columns_, TextKey(attributes));
+  std::call_once(entry.once, [&] {
+    BuildTokens(attributes, &entry.column);
+    token_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return entry.column;
+}
+
+const ShingleColumn& FeatureStore::Shingles(
+    const std::vector<std::string>& attributes, int q) const {
+  Entry<ShingleColumn>& entry =
+      FindOrCreate(shingles_, ShingleKey(attributes, q));
+  std::call_once(entry.once, [&] {
+    BuildShingles(attributes, q, &entry.column);
+    shingle_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return entry.column;
+}
+
+const SignatureColumn& FeatureStore::Signatures(
+    const std::vector<std::string>& attributes, int q, int num_hashes,
+    uint64_t seed) const {
+  Entry<SignatureColumn>& entry = FindOrCreate(
+      signatures_, SignatureKey(attributes, q, num_hashes, seed));
+  std::call_once(entry.once, [&] {
+    BuildSignatures(attributes, q, num_hashes, seed, &entry.column);
+    signature_builds_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return entry.column;
+}
+
+void FeatureStore::BuildTexts(const std::vector<std::string>& attributes,
+                              TextColumn* out) const {
+  const size_t n = snapshot_.size();
+  out->texts.resize(n);
+  for (data::RecordId id = 0; id < n; ++id) {
+    out->texts[id] = snapshot_.ConcatenatedValues(id, attributes);
+  }
+}
+
+void FeatureStore::BuildTokens(const std::vector<std::string>& attributes,
+                               TokenColumn* out) const {
+  const TextColumn& texts = Texts(attributes);
+  const size_t n = snapshot_.size();
+  out->tokens.resize(n);
+  // Column-local dense ids keep postings/bitmap consumers sized by this
+  // column's vocabulary, independent of how large the shared dictionary
+  // grew from other columns.
+  std::unordered_map<TokenId, TokenId> local_of;
+  for (data::RecordId id = 0; id < n; ++id) {
+    std::vector<std::string> words = SplitWords(texts.texts[id]);
+    std::sort(words.begin(), words.end());
+    words.erase(std::unique(words.begin(), words.end()), words.end());
+    std::vector<TokenId>& ids = out->tokens[id];
+    ids.reserve(words.size());
+    {
+      std::lock_guard<std::mutex> lock(token_mutex_);
+      for (std::string& w : words) {
+        auto [it, inserted] = token_ids_.try_emplace(
+            w, static_cast<TokenId>(tokens_.size()));
+        if (inserted) tokens_.push_back(std::move(w));
+        auto [local_it, fresh] = local_of.try_emplace(
+            it->second, static_cast<TokenId>(out->global_ids.size()));
+        if (fresh) out->global_ids.push_back(it->second);
+        ids.push_back(local_it->second);
+      }
+    }
+    std::sort(ids.begin(), ids.end());
+  }
+  out->token_limit = static_cast<uint32_t>(out->global_ids.size());
+}
+
+void FeatureStore::BuildShingles(const std::vector<std::string>& attributes,
+                                 int q, ShingleColumn* out) const {
+  const TextColumn& texts = Texts(attributes);
+  const size_t n = snapshot_.size();
+  out->sets.resize(n);
+  for (data::RecordId id = 0; id < n; ++id) {
+    out->sets[id] = text::QGramHashes(texts.texts[id], q);
+  }
+}
+
+void FeatureStore::BuildSignatures(
+    const std::vector<std::string>& attributes, int q, int num_hashes,
+    uint64_t seed, SignatureColumn* out) const {
+  const ShingleColumn& shingles = Shingles(attributes, q);
+  core::MinHasher hasher(num_hashes, seed);
+  const size_t n = snapshot_.size();
+  out->sigs.resize(n);
+  for (data::RecordId id = 0; id < n; ++id) {
+    out->sigs[id] = hasher.Signature(shingles.sets[id]);
+  }
+}
+
+std::string FeatureStore::Token(TokenId id) const {
+  std::lock_guard<std::mutex> lock(token_mutex_);
+  SABLOCK_CHECK_MSG(id < tokens_.size(), "token id out of range");
+  return tokens_[id];
+}
+
+size_t FeatureStore::NumInternedTokens() const {
+  std::lock_guard<std::mutex> lock(token_mutex_);
+  return tokens_.size();
+}
+
+FeatureStore::Stats FeatureStore::stats() const {
+  Stats s;
+  s.text_builds = text_builds_.load(std::memory_order_relaxed);
+  s.token_builds = token_builds_.load(std::memory_order_relaxed);
+  s.shingle_builds = shingle_builds_.load(std::memory_order_relaxed);
+  s.signature_builds = signature_builds_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace sablock::features

@@ -26,10 +26,20 @@ double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
 }
 
 void TfIdfVectorizer::Build(const std::vector<std::string>& corpus) {
+  std::vector<std::vector<std::string>> words;
+  words.reserve(corpus.size());
+  for (const std::string& doc : corpus) {
+    words.push_back(SplitWords(doc));
+  }
+  BuildFromWords(words);
+}
+
+void TfIdfVectorizer::BuildFromWords(
+    const std::vector<std::vector<std::string>>& corpus) {
   term_ids_.clear();
   std::vector<uint32_t> doc_freq;
-  for (const std::string& doc : corpus) {
-    std::vector<std::string> tokens = SplitWords(doc);
+  for (const std::vector<std::string>& doc : corpus) {
+    std::vector<std::string> tokens = doc;
     std::sort(tokens.begin(), tokens.end());
     tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
     for (const std::string& t : tokens) {
@@ -50,8 +60,13 @@ void TfIdfVectorizer::Build(const std::vector<std::string>& corpus) {
 }
 
 SparseVector TfIdfVectorizer::Vectorize(std::string_view document) const {
+  return VectorizeWords(SplitWords(document));
+}
+
+SparseVector TfIdfVectorizer::VectorizeWords(
+    const std::vector<std::string>& words) const {
   std::unordered_map<uint32_t, float> counts;
-  for (const std::string& t : SplitWords(document)) {
+  for (const std::string& t : words) {
     auto it = term_ids_.find(t);
     if (it != term_ids_.end()) counts[it->second] += 1.0f;
   }

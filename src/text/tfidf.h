@@ -26,8 +26,18 @@ class TfIdfVectorizer {
   /// Builds the vocabulary and IDF table from the corpus documents.
   void Build(const std::vector<std::string>& corpus);
 
+  /// Build() over pre-tokenized documents (each inner vector is one
+  /// document's whitespace tokens, duplicates included). Callers that
+  /// already tokenized — e.g. via the feature store's token columns —
+  /// avoid a second SplitWords pass per document.
+  void BuildFromWords(const std::vector<std::vector<std::string>>& corpus);
+
   /// Vectorizes one document against the built vocabulary.
   SparseVector Vectorize(std::string_view document) const;
+
+  /// Vectorize() over a pre-tokenized document (duplicates included —
+  /// term frequency counts them).
+  SparseVector VectorizeWords(const std::vector<std::string>& words) const;
 
   /// Number of distinct terms in the vocabulary.
   size_t vocabulary_size() const { return idf_.size(); }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include "baselines/adaptive_sorted_neighbourhood.h"
 #include "baselines/blocking_key.h"
 #include "baselines/qgram_indexing.h"
@@ -57,7 +59,7 @@ TEST(BlockingKeyTest, PrefixAndEncodings) {
 TEST(StandardBlockingTest, GroupsByExactKey) {
   Dataset d = NameDataset();
   StandardBlocking tblo(ExactKey({"first", "last"}));
-  BlockCollection blocks = tblo.Run(d);
+  BlockCollection blocks = RunStreaming(tblo, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
   // The classic limitation the paper motivates: swapped names never share
   // a block under TBlo.
@@ -71,13 +73,13 @@ TEST(StandardBlockingTest, EmptyKeysAreNotBlocked) {
   d.Add({{""}});
   d.Add({{""}});
   StandardBlocking tblo(ExactKey({"a"}));
-  EXPECT_EQ(tblo.Run(d).NumBlocks(), 0u);
+  EXPECT_EQ(RunStreaming(tblo, d).NumBlocks(), 0u);
 }
 
 TEST(SortedNeighbourhoodArrayTest, WindowCoversNeighbours) {
   Dataset d = NameDataset();
   SortedNeighbourhoodArray sna(ExactKey({"first", "last"}), 2);
-  BlockCollection blocks = sna.Run(d);
+  BlockCollection blocks = RunStreaming(sna, d);
   // "petermiller" and "petramiller" sort adjacently.
   EXPECT_TRUE(blocks.InSameBlock(3, 4));
   // Every block is exactly the window size.
@@ -91,7 +93,7 @@ TEST(SortedNeighbourhoodArrayTest, WindowLargerThanDataset) {
   d.Add({{"x"}});
   d.Add({{"y"}});
   SortedNeighbourhoodArray sna(ExactKey({"a"}), 10);
-  BlockCollection blocks = sna.Run(d);
+  BlockCollection blocks = RunStreaming(sna, d);
   EXPECT_EQ(blocks.NumBlocks(), 1u);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
 }
@@ -100,12 +102,12 @@ TEST(SortedNeighbourhoodInvertedIndexTest, EqualKeysAlwaysCoBlocked) {
   Dataset d = NameDataset();
   // Window 1 over unique keys: only records sharing a key are co-blocked.
   SortedNeighbourhoodInvertedIndex sni(ExactKey({"first", "last"}), 1);
-  BlockCollection blocks = sni.Run(d);
+  BlockCollection blocks = RunStreaming(sni, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
   EXPECT_FALSE(blocks.InSameBlock(3, 4));
   // Window 2 joins adjacent unique keys.
   SortedNeighbourhoodInvertedIndex sni2(ExactKey({"first", "last"}), 2);
-  EXPECT_TRUE(sni2.Run(d).InSameBlock(3, 4));
+  EXPECT_TRUE(RunStreaming(sni2, d).InSameBlock(3, 4));
 }
 
 TEST(MultiPassSortedNeighbourhoodTest, SecondKeyRecoversLeadingFieldError) {
@@ -120,12 +122,12 @@ TEST(MultiPassSortedNeighbourhoodTest, SecondKeyRecoversLeadingFieldError) {
   d.Add({{"henry", "lee"}}, 3);
 
   SortedNeighbourhoodArray single(ExactKey({"first", "last"}), 2);
-  core::BlockCollection single_blocks = single.Run(d);
+  core::BlockCollection single_blocks = RunStreaming(single, d);
   EXPECT_FALSE(single_blocks.InSameBlock(0, 1));
 
   MultiPassSortedNeighbourhood multi(
       {ExactKey({"first", "last"}), ExactKey({"last", "first"})}, 2);
-  core::BlockCollection blocks = multi.Run(d);
+  core::BlockCollection blocks = RunStreaming(multi, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
 }
 
@@ -133,7 +135,7 @@ TEST(MultiPassSortedNeighbourhoodTest, BlocksAreDisjointComponents) {
   Dataset d = NameDataset();
   MultiPassSortedNeighbourhood multi(
       {ExactKey({"first", "last"}), ExactKey({"last", "first"})}, 2);
-  core::BlockCollection blocks = multi.Run(d);
+  core::BlockCollection blocks = RunStreaming(multi, d);
   std::vector<int> seen(d.size(), 0);
   for (const auto& b : blocks.blocks()) {
     for (auto id : b) ++seen[id];
@@ -150,7 +152,7 @@ TEST(AdaptiveSortedNeighbourhoodTest, SplitsAtDissimilarBoundary) {
   Dataset d = NameDataset();
   AdaptiveSortedNeighbourhood asor(ExactKey({"first", "last"}),
                                    "jaro_winkler", 0.8);
-  BlockCollection blocks = asor.Run(d);
+  BlockCollection blocks = RunStreaming(asor, d);
   // petermiller ~ petramiller (high JW) stay together...
   EXPECT_TRUE(blocks.InSameBlock(3, 4));
   // ...but unrelated names split into different runs.
@@ -162,7 +164,7 @@ TEST(AdaptiveSortedNeighbourhoodTest, MaxBlockSizeCapsRuns) {
   for (int i = 0; i < 10; ++i) d.Add({{"samekey"}});
   AdaptiveSortedNeighbourhood asor(ExactKey({"k"}), "edit", 0.9,
                                    /*max_block_size=*/4);
-  BlockCollection blocks = asor.Run(d);
+  BlockCollection blocks = RunStreaming(asor, d);
   for (const auto& b : blocks.blocks()) EXPECT_LE(b.size(), 4u);
 }
 
@@ -178,7 +180,7 @@ TEST(QGramIndexingTest, ToleratesSmallTypos) {
   d.Add({{"catherihe"}}, 0);  // one substituted character (two bigrams)
   d.Add({{"zzzzzzz"}}, 1);
   QGramIndexing qgr(ExactKey({"name"}), 2, 0.7);
-  BlockCollection blocks = qgr.Run(d);
+  BlockCollection blocks = RunStreaming(qgr, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
   EXPECT_TRUE(blocks.InSameBlock(0, 2));
   EXPECT_FALSE(blocks.InSameBlock(0, 3));
@@ -190,7 +192,7 @@ TEST(QGramIndexingTest, ThresholdOneMeansExactGramList) {
   d.Add({{"abc"}}, 0);
   d.Add({{"abd"}}, 1);
   QGramIndexing qgr(ExactKey({"name"}), 2, 1.0);
-  BlockCollection blocks = qgr.Run(d);
+  BlockCollection blocks = RunStreaming(qgr, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
   EXPECT_FALSE(blocks.InSameBlock(0, 2));
 }
@@ -201,7 +203,7 @@ TEST(QGramIndexingTest, KeyCapBoundsWork) {
   d.Add({{"a very long blocking key value with many grams"}}, 0);
   d.Add({{"a very long blocking key value with many grams"}}, 0);
   QGramIndexing qgr(ExactKey({"name"}), 2, 0.8, /*max_keys_per_record=*/16);
-  BlockCollection blocks = qgr.Run(d);
+  BlockCollection blocks = RunStreaming(qgr, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include "baselines/canopy.h"
 
 namespace sablock::baselines {
@@ -26,7 +28,7 @@ TEST(CanopyThresholdTest, GroupsTokenOverlappingRecords) {
   Dataset d = TokenDataset();
   CanopyThreshold cath(ExactKey({"name"}), CanopySimilarity::kJaccard,
                        /*loose=*/0.3, /*tight=*/0.8, /*seed=*/5);
-  BlockCollection blocks = cath.Run(d);
+  BlockCollection blocks = RunStreaming(cath, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
   EXPECT_TRUE(blocks.InSameBlock(3, 4));
   EXPECT_FALSE(blocks.InSameBlock(0, 5));
@@ -39,7 +41,7 @@ TEST(CanopyThresholdTest, EveryRecordInAtMostOneSeedRole) {
   Dataset d = TokenDataset();
   CanopyThreshold cath(ExactKey({"name"}), CanopySimilarity::kJaccard, 0.3,
                        0.3, 5);
-  BlockCollection blocks = cath.Run(d);
+  BlockCollection blocks = RunStreaming(cath, d);
   std::vector<int> membership(d.size(), 0);
   for (const auto& b : blocks.blocks()) {
     for (auto id : b) ++membership[id];
@@ -51,7 +53,7 @@ TEST(CanopyThresholdTest, TfIdfVariantRuns) {
   Dataset d = TokenDataset();
   CanopyThreshold cath(ExactKey({"name"}), CanopySimilarity::kTfIdfCosine,
                        0.2, 0.6, 5);
-  BlockCollection blocks = cath.Run(d);
+  BlockCollection blocks = RunStreaming(cath, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1) || blocks.InSameBlock(0, 2));
 }
 
@@ -59,7 +61,7 @@ TEST(CanopyThresholdTest, DeterministicForSeed) {
   Dataset d = TokenDataset();
   CanopyThreshold cath(ExactKey({"name"}), CanopySimilarity::kJaccard, 0.3,
                        0.8, 5);
-  EXPECT_EQ(cath.Run(d).TotalComparisons(), cath.Run(d).TotalComparisons());
+  EXPECT_EQ(RunStreaming(cath, d).TotalComparisons(), RunStreaming(cath, d).TotalComparisons());
 }
 
 TEST(CanopyThresholdTest, NameEncodesParameters) {
@@ -73,7 +75,7 @@ TEST(CanopyNearestNeighbourTest, CanopySizesRespectN1) {
   CanopyNearestNeighbour cann(ExactKey({"name"}),
                               CanopySimilarity::kJaccard, /*n1=*/2,
                               /*n2=*/1, /*seed=*/5);
-  BlockCollection blocks = cann.Run(d);
+  BlockCollection blocks = RunStreaming(cann, d);
   for (const auto& b : blocks.blocks()) {
     EXPECT_LE(b.size(), 3u);  // seed + n1 neighbours
   }
@@ -83,7 +85,7 @@ TEST(CanopyNearestNeighbourTest, FindsNearDuplicates) {
   Dataset d = TokenDataset();
   CanopyNearestNeighbour cann(ExactKey({"name"}),
                               CanopySimilarity::kJaccard, 3, 2, 5);
-  BlockCollection blocks = cann.Run(d);
+  BlockCollection blocks = RunStreaming(cann, d);
   // Within the john-smith cluster at least one true pair must be covered.
   bool found = blocks.InSameBlock(0, 1) || blocks.InSameBlock(0, 2) ||
                blocks.InSameBlock(1, 2);
@@ -109,7 +111,7 @@ TEST(CanopyTest, IsolatedRecordsFormNoBlocks) {
   d.Add({{"gamma"}});
   CanopyThreshold cath(ExactKey({"name"}), CanopySimilarity::kJaccard, 0.5,
                        0.9, 5);
-  EXPECT_EQ(cath.Run(d).NumBlocks(), 0u);
+  EXPECT_EQ(RunStreaming(cath, d).NumBlocks(), 0u);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include <cmath>
 
 #include "baselines/stringmap.h"
@@ -58,7 +60,7 @@ TEST(StringMapThresholdTest, FindsTypoDuplicates) {
   Dataset d = TypoDataset();
   StringMapThreshold stmt(ExactKey({"name"}), /*threshold=*/0.8,
                           /*grid_size=*/10, /*dimensions=*/4);
-  BlockCollection blocks = stmt.Run(d);
+  BlockCollection blocks = RunStreaming(stmt, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
   EXPECT_TRUE(blocks.InSameBlock(3, 4));
 }
@@ -66,7 +68,7 @@ TEST(StringMapThresholdTest, FindsTypoDuplicates) {
 TEST(StringMapThresholdTest, SeparatesVeryDifferentStrings) {
   Dataset d = TypoDataset();
   StringMapThreshold stmt(ExactKey({"name"}), 0.9, 10, 4);
-  BlockCollection blocks = stmt.Run(d);
+  BlockCollection blocks = RunStreaming(stmt, d);
   EXPECT_FALSE(blocks.InSameBlock(0, 5));
 }
 
@@ -79,7 +81,7 @@ TEST(StringMapNearestNeighbourTest, EveryRecordGetsNeighbours) {
   Dataset d = TypoDataset();
   StringMapNearestNeighbour stmnn(ExactKey({"name"}), /*num_neighbours=*/2,
                                   /*grid_size=*/10, /*dimensions=*/4);
-  BlockCollection blocks = stmnn.Run(d);
+  BlockCollection blocks = RunStreaming(stmnn, d);
   // One block per record (each of the 6 records finds >= 1 candidate).
   EXPECT_EQ(blocks.NumBlocks(), d.size());
   for (const auto& b : blocks.blocks()) {
@@ -91,7 +93,7 @@ TEST(StringMapNearestNeighbourTest, EveryRecordGetsNeighbours) {
 TEST(StringMapNearestNeighbourTest, NearestNeighbourIsTheTypoTwin) {
   Dataset d = TypoDataset();
   StringMapNearestNeighbour stmnn(ExactKey({"name"}), 1, 10, 4);
-  BlockCollection blocks = stmnn.Run(d);
+  BlockCollection blocks = RunStreaming(stmnn, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1) || blocks.InSameBlock(0, 2));
 }
 
@@ -104,7 +106,7 @@ TEST(StringMapTest, DeterministicForSeed) {
   Dataset d = TypoDataset();
   StringMapThreshold a(ExactKey({"name"}), 0.8, 10, 4, /*seed=*/9);
   StringMapThreshold b(ExactKey({"name"}), 0.8, 10, 4, /*seed=*/9);
-  EXPECT_EQ(a.Run(d).TotalComparisons(), b.Run(d).TotalComparisons());
+  EXPECT_EQ(RunStreaming(a, d).TotalComparisons(), RunStreaming(b, d).TotalComparisons());
 }
 
 }  // namespace

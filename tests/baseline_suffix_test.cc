@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include "baselines/suffix_array.h"
 
 namespace sablock::baselines {
@@ -24,7 +26,7 @@ TEST(SuffixArrayTest, SharedSuffixesCreateBlocks) {
   Dataset d = SuffixDataset();
   SuffixArrayBlocking sua(ExactKey({"name"}), /*min_suffix_len=*/4,
                           /*max_block_size=*/10);
-  BlockCollection blocks = sua.Run(d);
+  BlockCollection blocks = RunStreaming(sua, d);
   // katherine & catherine share "atherine", "therine", ...
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
   // A trailing error kills all shared suffixes of length >= 4.
@@ -37,7 +39,7 @@ TEST(SuffixArrayTest, MaxBlockSizeDiscardsCommonSuffixes) {
   for (int i = 0; i < 8; ++i) d.Add({{"common_suffix"}});
   SuffixArrayBlocking sua(ExactKey({"name"}), 4, /*max_block_size=*/5);
   // Every suffix posting has 8 > 5 records: everything is purged.
-  EXPECT_EQ(sua.Run(d).NumBlocks(), 0u);
+  EXPECT_EQ(RunStreaming(sua, d).NumBlocks(), 0u);
 }
 
 TEST(SuffixArrayTest, ShortValuesIndexedWhole) {
@@ -45,13 +47,13 @@ TEST(SuffixArrayTest, ShortValuesIndexedWhole) {
   d.Add({{"ab"}}, 0);
   d.Add({{"ab"}}, 0);
   SuffixArrayBlocking sua(ExactKey({"name"}), 5, 10);
-  EXPECT_TRUE(sua.Run(d).InSameBlock(0, 1));
+  EXPECT_TRUE(RunStreaming(sua, d).InSameBlock(0, 1));
 }
 
 TEST(SuffixArrayAllSubstringsTest, ToleratesTrailingErrors) {
   Dataset d = SuffixDataset();
   SuffixArrayAllSubstrings suas(ExactKey({"name"}), 4, 10);
-  BlockCollection blocks = suas.Run(d);
+  BlockCollection blocks = RunStreaming(suas, d);
   // Substrings recover the pair that plain suffixes lose.
   EXPECT_TRUE(blocks.InSameBlock(0, 2));
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
@@ -60,12 +62,10 @@ TEST(SuffixArrayAllSubstringsTest, ToleratesTrailingErrors) {
 
 TEST(SuffixArrayAllSubstringsTest, MoreCandidatesThanPlainSuffixes) {
   Dataset d = SuffixDataset();
-  size_t sua_pairs = SuffixArrayBlocking(ExactKey({"name"}), 4, 10)
-                         .Run(d)
+  size_t sua_pairs = RunStreaming(SuffixArrayBlocking(ExactKey({"name"}), 4, 10), d)
                          .DistinctPairs()
                          .size();
-  size_t suas_pairs = SuffixArrayAllSubstrings(ExactKey({"name"}), 4, 10)
-                          .Run(d)
+  size_t suas_pairs = RunStreaming(SuffixArrayAllSubstrings(ExactKey({"name"}), 4, 10), d)
                           .DistinctPairs()
                           .size();
   EXPECT_GE(suas_pairs, sua_pairs);
@@ -76,19 +76,19 @@ TEST(RobustSuffixArrayTest, MergesSimilarAdjacentSuffixes) {
   d.Add({{"katherine"}}, 0);
   d.Add({{"kathersne"}}, 0);  // "therine"->"thersne": similar suffixes
   RobustSuffixArrayBlocking rsua(ExactKey({"name"}), 5, 20, "edit", 0.7);
-  BlockCollection blocks = rsua.Run(d);
+  BlockCollection blocks = RunStreaming(rsua, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
   // Plain SuA misses this pair at the same settings.
   SuffixArrayBlocking sua(ExactKey({"name"}), 5, 20);
-  EXPECT_FALSE(sua.Run(d).InSameBlock(0, 1));
+  EXPECT_FALSE(RunStreaming(sua, d).InSameBlock(0, 1));
 }
 
 TEST(RobustSuffixArrayTest, ThresholdOneBehavesLikePlainSuA) {
   Dataset d = SuffixDataset();
   RobustSuffixArrayBlocking rsua(ExactKey({"name"}), 4, 10, "edit", 1.0);
   SuffixArrayBlocking sua(ExactKey({"name"}), 4, 10);
-  EXPECT_EQ(rsua.Run(d).DistinctPairs().size(),
-            sua.Run(d).DistinctPairs().size());
+  EXPECT_EQ(RunStreaming(rsua, d).DistinctPairs().size(),
+            RunStreaming(sua, d).DistinctPairs().size());
 }
 
 TEST(SuffixFamilyTest, NamesEncodeParameters) {
@@ -105,7 +105,7 @@ TEST(SuffixFamilyTest, EmptyValuesProduceNoBlocks) {
   Dataset d{Schema({"name"})};
   d.Add({{""}});
   d.Add({{""}});
-  EXPECT_EQ(SuffixArrayBlocking(ExactKey({"name"}), 3, 10).Run(d).NumBlocks(),
+  EXPECT_EQ(RunStreaming(SuffixArrayBlocking(ExactKey({"name"}), 3, 10), d).NumBlocks(),
             0u);
 }
 

@@ -14,6 +14,7 @@
 #include "eval/harness.h"
 #include "eval/metrics.h"
 #include "gtest/gtest.h"
+#include "run_streaming.h"
 
 namespace sablock::engine {
 namespace {
@@ -128,7 +129,7 @@ TEST(ShardedExecutorTest, SingleShardMatchesDirectRun) {
   data::Dataset dataset = SmallVoter(500);
   std::unique_ptr<BlockingTechnique> technique =
       FromSpec("tblo:attrs=first_name+last_name");
-  BlockCollection direct = technique->Run(dataset);
+  BlockCollection direct = RunStreaming(*technique, dataset);
 
   ExecutionSpec spec;  // threads=1, shards -> 1
   BlockCollection sharded =

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include <memory>
 
 #include "baselines/canopy.h"
@@ -47,7 +49,7 @@ TEST(PreconditionDeathTest, LshBlockerRejectsDegenerateParams) {
   p.k = 0;
   p.l = 4;
   p.attributes = {"a"};
-  EXPECT_DEATH(core::LshBlocker(p).Run(d), "CHECK");
+  EXPECT_DEATH(RunStreaming(core::LshBlocker(p), d), "CHECK");
 }
 
 TEST(PreconditionDeathTest, SemanticBlockerRejectsNullSemantics) {
@@ -94,7 +96,7 @@ TEST(DegenerateInputTest, AllMissingRecordsAreHandledEndToEnd) {
   core::SemanticParams sp;
   sp.w = 5;
   core::SemanticAwareLshBlocker blocker(p, sp, domain.semantics);
-  core::BlockCollection blocks = blocker.Run(d);
+  core::BlockCollection blocks = RunStreaming(blocker, d);
   // No shingles -> no textual buckets -> no blocks; metrics stay sane.
   EXPECT_EQ(blocks.NumBlocks(), 0u);
   eval::Metrics m = eval::Evaluate(d, blocks);
@@ -109,9 +111,9 @@ TEST(DegenerateInputTest, SingleRecordDataset) {
   p.k = 1;
   p.l = 1;
   p.attributes = {"a"};
-  EXPECT_EQ(core::LshBlocker(p).Run(d).NumBlocks(), 0u);
-  EXPECT_EQ(core::MultiProbeLshBlocker(p, 1).Run(d).NumBlocks(), 0u);
-  EXPECT_EQ(core::LshForestBlocker(p, 4, 2).Run(d).NumBlocks(), 0u);
+  EXPECT_EQ(RunStreaming(core::LshBlocker(p), d).NumBlocks(), 0u);
+  EXPECT_EQ(RunStreaming(core::MultiProbeLshBlocker(p, 1), d).NumBlocks(), 0u);
+  EXPECT_EQ(RunStreaming(core::LshForestBlocker(p, 4, 2), d).NumBlocks(), 0u);
 }
 
 TEST(DegenerateInputTest, SemanticsWithoutMatchingAttributes) {
@@ -132,7 +134,7 @@ TEST(DegenerateInputTest, SemanticsWithoutMatchingAttributes) {
   core::SemanticParams sp;
   sp.w = 3;
   core::BlockCollection blocks =
-      core::SemanticAwareLshBlocker(p, sp, domain.semantics).Run(d);
+      RunStreaming(core::SemanticAwareLshBlocker(p, sp, domain.semantics), d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
 }
 
@@ -143,7 +145,7 @@ TEST(DegenerateInputTest, IdenticalRecordsEverywhere) {
   p.k = 3;
   p.l = 2;
   p.attributes = {"a", "b"};
-  eval::Metrics m = eval::Evaluate(d, core::LshBlocker(p).Run(d));
+  eval::Metrics m = eval::Evaluate(d, RunStreaming(core::LshBlocker(p), d));
   EXPECT_DOUBLE_EQ(m.pc, 1.0);
   EXPECT_DOUBLE_EQ(m.pq, 1.0);
 }
@@ -158,7 +160,7 @@ TEST(DegenerateInputTest, ForestWithUnsplittableGroupEmitsAtMaxDepth) {
   p.l = 1;
   p.attributes = {"a"};
   core::LshForestBlocker forest(p, /*max_depth=*/4, /*max_block_size=*/3);
-  core::BlockCollection blocks = forest.Run(d);
+  core::BlockCollection blocks = RunStreaming(forest, d);
   ASSERT_EQ(blocks.NumBlocks(), 1u);
   EXPECT_EQ(blocks.blocks()[0].size(), 10u);
 }

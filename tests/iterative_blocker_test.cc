@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include "core/block_utils.h"
 #include "core/iterative_blocker.h"
 #include "data/cora_generator.h"
@@ -66,7 +68,7 @@ TEST(IterativeLshBlockerTest, MergesObviousDuplicates) {
   Dataset d = ClusteredDataset();
   IterativeLshBlocker blocker(IterParams(), /*merge_threshold=*/0.5,
                               /*iterations=*/3);
-  BlockCollection blocks = blocker.Run(d);
+  BlockCollection blocks = RunStreaming(blocker, d);
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
   EXPECT_TRUE(blocks.InSameBlock(3, 4));
   EXPECT_FALSE(blocks.InSameBlock(0, 5));
@@ -76,7 +78,7 @@ TEST(IterativeLshBlockerTest, MergesObviousDuplicates) {
 TEST(IterativeLshBlockerTest, BlocksAreDisjoint) {
   Dataset d = ClusteredDataset();
   IterativeLshBlocker blocker(IterParams(), 0.4, 3);
-  BlockCollection blocks = blocker.Run(d);
+  BlockCollection blocks = RunStreaming(blocker, d);
   std::vector<int> seen(d.size(), 0);
   for (const auto& b : blocks.blocks()) {
     for (auto id : b) ++seen[id];
@@ -94,16 +96,16 @@ TEST(IterativeLshBlockerTest, MoreIterationsNeverLoseMerges) {
   p.attributes = {"authors", "title"};
 
   double pc1 = eval::Evaluate(
-                   d, IterativeLshBlocker(p, 0.5, 1).Run(d)).pc;
+                   d, RunStreaming(IterativeLshBlocker(p, 0.5, 1), d)).pc;
   double pc3 = eval::Evaluate(
-                   d, IterativeLshBlocker(p, 0.5, 3).Run(d)).pc;
+                   d, RunStreaming(IterativeLshBlocker(p, 0.5, 3), d)).pc;
   EXPECT_GE(pc3, pc1 - 1e-12);
 }
 
 TEST(IterativeLshBlockerTest, ThresholdOneMergesOnlyIdenticalSignatures) {
   Dataset d = ClusteredDataset();
   IterativeLshBlocker strict(IterParams(), 1.0, 2);
-  BlockCollection blocks = strict.Run(d);
+  BlockCollection blocks = RunStreaming(strict, d);
   // Only signature-identical records may merge; the chain cluster's
   // distinct texts stay apart.
   EXPECT_FALSE(blocks.InSameBlock(0, 2));

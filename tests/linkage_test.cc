@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include "core/domains.h"
 #include "core/linkage.h"
 #include "core/lsh_blocker.h"
@@ -110,7 +112,7 @@ TEST(VoterLinkageEndToEndTest, LshLinkageFindsOverlap) {
   p.l = 12;
   p.q = 2;
   p.attributes = {"first_name", "last_name"};
-  BlockCollection all_blocks = LshBlocker(p).Run(link.merged);
+  BlockCollection all_blocks = RunStreaming(LshBlocker(p), link.merged);
   BlockCollection cross = CrossSourceBlocks(all_blocks, link.boundary);
 
   // Evaluate against cross-source ground truth.

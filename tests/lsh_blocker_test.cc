@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,7 +61,7 @@ TEST(LshBlockerTest, NameEncodesParameters) {
 TEST(LshBlockerTest, IdenticalTextAlwaysCoBlocked) {
   Dataset d = TinyBibDataset();
   LshBlocker blocker(SmallParams());
-  BlockCollection blocks = blocker.Run(d);
+  BlockCollection blocks = RunStreaming(blocker, d);
   // Records 0 and 2 have identical title+authors.
   EXPECT_TRUE(blocks.InSameBlock(0, 2));
 }
@@ -69,7 +71,7 @@ TEST(LshBlockerTest, DissimilarRecordsUsuallySeparated) {
   LshParams p = SmallParams();
   p.k = 4;  // selective bands
   LshBlocker blocker(p);
-  BlockCollection blocks = blocker.Run(d);
+  BlockCollection blocks = RunStreaming(blocker, d);
   EXPECT_FALSE(blocks.InSameBlock(0, 3));
 }
 
@@ -83,7 +85,7 @@ TEST(LshBlockerTest, EmptyRecordsAreExcluded) {
   p.l = 2;
   p.attributes = {"title", "authors"};
   LshBlocker blocker(p);
-  BlockCollection blocks = blocker.Run(d);
+  BlockCollection blocks = RunStreaming(blocker, d);
   EXPECT_FALSE(blocks.InSameBlock(0, 1));
   EXPECT_EQ(blocks.NumBlocks(), 0u);
 }
@@ -91,8 +93,8 @@ TEST(LshBlockerTest, EmptyRecordsAreExcluded) {
 TEST(LshBlockerTest, DeterministicAcrossRuns) {
   Dataset d = TinyBibDataset();
   LshBlocker blocker(SmallParams());
-  BlockCollection b1 = blocker.Run(d);
-  BlockCollection b2 = blocker.Run(d);
+  BlockCollection b1 = RunStreaming(blocker, d);
+  BlockCollection b2 = RunStreaming(blocker, d);
   EXPECT_EQ(b1.TotalComparisons(), b2.TotalComparisons());
   EXPECT_EQ(b1.NumBlocks(), b2.NumBlocks());
 }
@@ -103,15 +105,15 @@ TEST(LshBlockerTest, MoreTablesNeverReduceCandidates) {
   p1.l = 2;
   LshParams p16 = SmallParams();
   p16.l = 16;
-  size_t pairs_small = LshBlocker(p1).Run(d).DistinctPairs().size();
-  size_t pairs_large = LshBlocker(p16).Run(d).DistinctPairs().size();
+  size_t pairs_small = RunStreaming(LshBlocker(p1), d).DistinctPairs().size();
+  size_t pairs_large = RunStreaming(LshBlocker(p16), d).DistinctPairs().size();
   EXPECT_GE(pairs_large, pairs_small);
 }
 
 TEST(LshBlockerTest, EmptyDatasetYieldsNoBlocks) {
   Dataset d{Schema({"title", "authors"})};
   LshBlocker blocker(SmallParams());
-  EXPECT_EQ(blocker.Run(d).NumBlocks(), 0u);
+  EXPECT_EQ(RunStreaming(blocker, d).NumBlocks(), 0u);
 }
 
 std::shared_ptr<const SemanticFunction> BibSemantics() {
@@ -148,7 +150,7 @@ TEST(SaLshBlockerTest, SemanticallyDissimilarNeverCoBlocked) {
   ASSERT_DOUBLE_EQ(domain.taxonomy().RecordSimilarity(z0, z2), 0.0);
 
   SemanticAwareLshBlocker blocker(SmallParams(), FullOr(), BibSemantics());
-  BlockCollection blocks = blocker.Run(d);
+  BlockCollection blocks = RunStreaming(blocker, d);
   EXPECT_FALSE(blocks.InSameBlock(0, 2));
   // But records 0 and 1 (both proceedings, textually near-identical) stay.
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
@@ -159,9 +161,9 @@ TEST(SaLshBlockerTest, SubsetOfLshCandidates) {
   // textual parameters.
   Dataset d = TinyBibDataset();
   LshParams p = SmallParams();
-  PairSet lsh_pairs = LshBlocker(p).Run(d).DistinctPairs();
+  PairSet lsh_pairs = RunStreaming(LshBlocker(p), d).DistinctPairs();
   SemanticAwareLshBlocker sa(p, FullOr(), BibSemantics());
-  PairSet sa_pairs = sa.Run(d).DistinctPairs();
+  PairSet sa_pairs = RunStreaming(sa, d).DistinctPairs();
   EXPECT_LE(sa_pairs.size(), lsh_pairs.size());
   sa_pairs.ForEach([&lsh_pairs](uint32_t a, uint32_t b) {
     EXPECT_TRUE(lsh_pairs.Contains(a, b));
@@ -178,12 +180,10 @@ TEST(SaLshBlockerTest, AndModeIsStricterThanOrMode) {
   SemanticParams or_params = and_params;
   or_params.mode = SemanticMode::kOr;
 
-  size_t and_pairs = SemanticAwareLshBlocker(p, and_params, BibSemantics())
-                         .Run(d)
+  size_t and_pairs = RunStreaming(SemanticAwareLshBlocker(p, and_params, BibSemantics()), d)
                          .DistinctPairs()
                          .size();
-  size_t or_pairs = SemanticAwareLshBlocker(p, or_params, BibSemantics())
-                        .Run(d)
+  size_t or_pairs = RunStreaming(SemanticAwareLshBlocker(p, or_params, BibSemantics()), d)
                         .DistinctPairs()
                         .size();
   EXPECT_LE(and_pairs, or_pairs);
@@ -195,15 +195,15 @@ TEST(SaLshBlockerTest, WIsClampedToSignatureWidth) {
   sp.w = 100;  // far beyond the 5-bit signature
   sp.mode = SemanticMode::kOr;
   SemanticAwareLshBlocker blocker(SmallParams(), sp, BibSemantics());
-  BlockCollection blocks = blocker.Run(d);  // must not abort
+  BlockCollection blocks = RunStreaming(blocker, d);  // must not abort
   EXPECT_TRUE(blocks.InSameBlock(0, 1));
 }
 
 TEST(SaLshBlockerTest, DeterministicAcrossRuns) {
   Dataset d = TinyBibDataset();
   SemanticAwareLshBlocker blocker(SmallParams(), FullOr(), BibSemantics());
-  EXPECT_EQ(blocker.Run(d).TotalComparisons(),
-            blocker.Run(d).TotalComparisons());
+  EXPECT_EQ(RunStreaming(blocker, d).TotalComparisons(),
+            RunStreaming(blocker, d).TotalComparisons());
 }
 
 TEST(ComputeMinhashSignaturesTest, OnePerRecord) {

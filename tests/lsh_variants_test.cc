@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include "core/lsh_variants.h"
 #include "core/minhash.h"
 #include "data/cora_generator.h"
@@ -67,8 +69,8 @@ TEST(Top2SignaturesTest, Min1MatchesPlainSignature) {
 TEST(MultiProbeLshTest, ZeroProbesEqualsPlainLsh) {
   Dataset d = SmallTextDataset();
   LshParams p = SmallParams();
-  PairSet plain = LshBlocker(p).Run(d).DistinctPairs();
-  PairSet mp = MultiProbeLshBlocker(p, 0).Run(d).DistinctPairs();
+  PairSet plain = RunStreaming(LshBlocker(p), d).DistinctPairs();
+  PairSet mp = RunStreaming(MultiProbeLshBlocker(p, 0), d).DistinctPairs();
   EXPECT_EQ(plain.size(), mp.size());
   mp.ForEach([&plain](uint32_t a, uint32_t b) {
     EXPECT_TRUE(plain.Contains(a, b));
@@ -78,9 +80,9 @@ TEST(MultiProbeLshTest, ZeroProbesEqualsPlainLsh) {
 TEST(MultiProbeLshTest, ProbingOnlyAddsCandidates) {
   Dataset d = SmallTextDataset();
   LshParams p = SmallParams();
-  size_t prev = LshBlocker(p).Run(d).DistinctPairs().size();
+  size_t prev = RunStreaming(LshBlocker(p), d).DistinctPairs().size();
   for (int probes : {1, 2, 3}) {
-    PairSet pairs = MultiProbeLshBlocker(p, probes).Run(d).DistinctPairs();
+    PairSet pairs = RunStreaming(MultiProbeLshBlocker(p, probes), d).DistinctPairs();
     EXPECT_GE(pairs.size(), prev);
     prev = pairs.size();
   }
@@ -89,7 +91,7 @@ TEST(MultiProbeLshTest, ProbingOnlyAddsCandidates) {
 TEST(MultiProbeLshTest, IdenticalTextAlwaysCoBlocked) {
   Dataset d = SmallTextDataset();
   MultiProbeLshBlocker blocker(SmallParams(), 2);
-  EXPECT_TRUE(blocker.Run(d).InSameBlock(0, 1));
+  EXPECT_TRUE(RunStreaming(blocker, d).InSameBlock(0, 1));
 }
 
 TEST(MultiProbeLshTest, RecallWithFewerTablesApproachesPlainLsh) {
@@ -108,11 +110,11 @@ TEST(MultiProbeLshTest, RecallWithFewerTablesApproachesPlainLsh) {
   half.l = 8;
 
   double pc_full =
-      eval::Evaluate(d, LshBlocker(full).Run(d)).pc;
+      eval::Evaluate(d, RunStreaming(LshBlocker(full), d)).pc;
   double pc_half =
-      eval::Evaluate(d, LshBlocker(half).Run(d)).pc;
+      eval::Evaluate(d, RunStreaming(LshBlocker(half), d)).pc;
   double pc_half_probed =
-      eval::Evaluate(d, MultiProbeLshBlocker(half, 3).Run(d)).pc;
+      eval::Evaluate(d, RunStreaming(MultiProbeLshBlocker(half, 3), d)).pc;
   EXPECT_GT(pc_half_probed, pc_half);
   EXPECT_GE(pc_half_probed, pc_full - 0.05);
 }
@@ -126,7 +128,7 @@ TEST(LshForestTest, IdenticalTextAlwaysCoBlocked) {
   Dataset d = SmallTextDataset();
   LshForestBlocker forest(SmallParams(), /*max_depth=*/8,
                           /*max_block_size=*/3);
-  EXPECT_TRUE(forest.Run(d).InSameBlock(0, 1));
+  EXPECT_TRUE(RunStreaming(forest, d).InSameBlock(0, 1));
 }
 
 TEST(LshForestTest, BlocksRespectSizeCapExceptAtMaxDepth) {
@@ -139,7 +141,7 @@ TEST(LshForestTest, BlocksRespectSizeCapExceptAtMaxDepth) {
   p.attributes = {"authors", "title"};
   const size_t cap = 10;
   LshForestBlocker forest(p, /*max_depth=*/12, cap);
-  BlockCollection blocks = forest.Run(d);
+  BlockCollection blocks = RunStreaming(forest, d);
   // Oversized leaves can only occur when the full depth failed to split
   // (identical signatures); they should be rare.
   size_t oversized = 0;
@@ -153,7 +155,7 @@ TEST(LshForestTest, BlocksRespectSizeCapExceptAtMaxDepth) {
 TEST(LshForestTest, SeparatesDissimilarRecords) {
   Dataset d = SmallTextDataset();
   LshForestBlocker forest(SmallParams(), 8, 3);
-  BlockCollection blocks = forest.Run(d);
+  BlockCollection blocks = RunStreaming(forest, d);
   EXPECT_FALSE(blocks.InSameBlock(0, 5));
 }
 
@@ -161,15 +163,15 @@ TEST(LshForestTest, SelfTuningFindsClusters) {
   // Near-duplicates should co-block without choosing any k.
   Dataset d = SmallTextDataset();
   LshForestBlocker forest(SmallParams(), 10, 3);
-  eval::Metrics m = eval::Evaluate(d, forest.Run(d));
+  eval::Metrics m = eval::Evaluate(d, RunStreaming(forest, d));
   EXPECT_GT(m.pc, 0.5);
 }
 
 TEST(LshForestTest, DeterministicAcrossRuns) {
   Dataset d = SmallTextDataset();
   LshForestBlocker forest(SmallParams(), 8, 3);
-  EXPECT_EQ(forest.Run(d).TotalComparisons(),
-            forest.Run(d).TotalComparisons());
+  EXPECT_EQ(RunStreaming(forest, d).TotalComparisons(),
+            RunStreaming(forest, d).TotalComparisons());
 }
 
 TEST(LshForestTest, NameEncodesParameters) {

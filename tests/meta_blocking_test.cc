@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include "baselines/meta_blocking.h"
 #include "eval/metrics.h"
 
@@ -62,7 +64,7 @@ TEST(MetaBlockingTest, WepKeepsStrongEdges) {
   // 3-4 share two (omega, psi). Mean CBS weight = (2+1+1+2)/4 = 1.5:
   // WEP keeps only the weight-2 edges.
   MetaBlocking meta({"name"}, MetaWeighting::kCbs, MetaPruning::kWep);
-  BlockCollection pruned = meta.Run(d);
+  BlockCollection pruned = RunStreaming(meta, d);
   EXPECT_TRUE(pruned.InSameBlock(0, 1));
   EXPECT_TRUE(pruned.InSameBlock(3, 4));
   EXPECT_FALSE(pruned.InSameBlock(0, 2));
@@ -84,7 +86,7 @@ TEST(MetaBlockingTest, AllWeightingSchemesProducePositiveWeights) {
        {MetaWeighting::kArcs, MetaWeighting::kCbs, MetaWeighting::kEcbs,
         MetaWeighting::kJs, MetaWeighting::kEjs}) {
     MetaBlocking meta({"name"}, w, MetaPruning::kWep);
-    BlockCollection pruned = meta.Run(d);
+    BlockCollection pruned = RunStreaming(meta, d);
     // WEP with any scheme keeps at least the strongest edge.
     EXPECT_GE(pruned.NumBlocks(), 1u) << MetaWeightingName(w);
   }
@@ -93,7 +95,7 @@ TEST(MetaBlockingTest, AllWeightingSchemesProducePositiveWeights) {
 TEST(MetaBlockingTest, PrunedBlocksArePairs) {
   Dataset d = TokenDataset();
   MetaBlocking meta({"name"}, MetaWeighting::kJs, MetaPruning::kWnp);
-  BlockCollection pruned = meta.Run(d);
+  BlockCollection pruned = RunStreaming(meta, d);
   for (const auto& b : pruned.blocks()) {
     EXPECT_EQ(b.size(), 2u);
   }
@@ -102,7 +104,7 @@ TEST(MetaBlockingTest, PrunedBlocksArePairs) {
 TEST(MetaBlockingTest, CnpKeepsTopEdgesPerNode) {
   Dataset d = TokenDataset();
   MetaBlocking meta({"name"}, MetaWeighting::kCbs, MetaPruning::kCnp);
-  BlockCollection pruned = meta.Run(d);
+  BlockCollection pruned = RunStreaming(meta, d);
   // The strong within-entity edges must survive node-local top-k.
   EXPECT_TRUE(pruned.InSameBlock(0, 1));
   EXPECT_TRUE(pruned.InSameBlock(3, 4));
@@ -125,7 +127,7 @@ TEST(MetaBlockingTest, NameEncodesSchemeAndPruning) {
 TEST(MetaBlockingTest, EmptyDatasetYieldsNoBlocks) {
   Dataset d{Schema({"name"})};
   MetaBlocking meta({"name"}, MetaWeighting::kCbs, MetaPruning::kWep);
-  EXPECT_EQ(meta.Run(d).NumBlocks(), 0u);
+  EXPECT_EQ(RunStreaming(meta, d).NumBlocks(), 0u);
 }
 
 }  // namespace

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include <algorithm>
 #include <memory>
 #include <string>
@@ -117,7 +119,7 @@ TEST(PaperRunningExample, SemanticFilterRemovesTechReportFromB3) {
   Domain domain = MakeBibliographicDomain();
 
   LshBlocker lsh(Fig1LshParams());
-  BlockCollection textual = lsh.Run(d);
+  BlockCollection textual = RunStreaming(lsh, d);
   // Textually, the near-identical titles collide (B1 of Fig. 1).
   EXPECT_TRUE(textual.InSameBlock(0, 3));
   EXPECT_TRUE(textual.InSameBlock(0, 1));
@@ -127,7 +129,7 @@ TEST(PaperRunningExample, SemanticFilterRemovesTechReportFromB3) {
   sp.w = 5;
   sp.mode = SemanticMode::kOr;
   SemanticAwareLshBlocker sa(Fig1LshParams(), sp, domain.semantics);
-  BlockCollection combined = sa.Run(d);
+  BlockCollection combined = RunStreaming(sa, d);
   // B3: r4 is pushed out of r1/r2/r6's blocks...
   EXPECT_FALSE(combined.InSameBlock(0, 3));
   EXPECT_FALSE(combined.InSameBlock(1, 3));
@@ -144,10 +146,9 @@ TEST(PaperRunningExample, SaLshImprovesQualityOnFig1) {
   sp.w = 5;
   sp.mode = SemanticMode::kOr;
 
-  eval::Metrics lsh = eval::Evaluate(d, LshBlocker(Fig1LshParams()).Run(d));
+  eval::Metrics lsh = eval::Evaluate(d, RunStreaming(LshBlocker(Fig1LshParams()), d));
   eval::Metrics sa = eval::Evaluate(
-      d, SemanticAwareLshBlocker(Fig1LshParams(), sp, domain.semantics)
-             .Run(d));
+      d, RunStreaming(SemanticAwareLshBlocker(Fig1LshParams(), sp, domain.semantics), d));
   // The paper's headline on this example: fewer candidate pairs without
   // losing the true matches.
   EXPECT_LT(sa.distinct_pairs, lsh.distinct_pairs);

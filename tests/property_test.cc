@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "run_streaming.h"
+
 #include <memory>
 #include <tuple>
 
@@ -172,13 +174,12 @@ TEST_P(SaLshContainment, CandidatesAreSubsetOfLsh) {
   p.l = 10;
   p.attributes = {"authors", "title"};
   p.seed = 3;
-  PairSet lsh_pairs = LshBlocker(p).Run(d).DistinctPairs();
+  PairSet lsh_pairs = RunStreaming(LshBlocker(p), d).DistinctPairs();
 
   SemanticParams sp;
   sp.w = w;
   sp.mode = mode;
-  PairSet sa_pairs = SemanticAwareLshBlocker(p, sp, domain.semantics)
-                         .Run(d)
+  PairSet sa_pairs = RunStreaming(SemanticAwareLshBlocker(p, sp, domain.semantics), d)
                          .DistinctPairs();
   EXPECT_LE(sa_pairs.size(), lsh_pairs.size());
   sa_pairs.ForEach([&lsh_pairs](uint32_t a, uint32_t b) {
@@ -208,7 +209,7 @@ TEST_P(MetricIdentities, BoundsAndHarmonicMean) {
   p.l = 8;
   p.q = 2;
   p.attributes = {"first_name", "last_name"};
-  eval::Metrics m = eval::Evaluate(d, LshBlocker(p).Run(d));
+  eval::Metrics m = eval::Evaluate(d, RunStreaming(LshBlocker(p), d));
 
   for (double v : {m.pc, m.pq, m.rr, m.fm, m.pq_star, m.fm_star}) {
     EXPECT_GE(v, 0.0);
@@ -252,7 +253,7 @@ TEST(CollisionModelValidation, EmpiricalMatchesAnalyticForIdenticalText) {
     p.seed = seed;
     sp.seed = seed;
     SemanticAwareLshBlocker blocker(p, sp, domain.semantics);
-    EXPECT_TRUE(blocker.Run(d).InSameBlock(0, 1)) << seed;
+    EXPECT_TRUE(RunStreaming(blocker, d).InSameBlock(0, 1)) << seed;
   }
 }
 

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "data/record.h"
 
 namespace sablock::data {
@@ -102,6 +107,64 @@ TEST(DatasetTest, EmptyDataset) {
   EXPECT_TRUE(d.empty());
   EXPECT_EQ(d.CountTrueMatchPairs(), 0u);
   EXPECT_EQ(d.TotalPairs(), 0u);
+}
+
+TEST(DatasetTest, ValuesSpanAlignsWithSchema) {
+  Dataset d = TwoColumnDataset();
+  std::span<const std::string_view> row = d.Values(1);
+  ASSERT_EQ(row.size(), 2u);
+  EXPECT_EQ(row[0], "alicia");
+  EXPECT_EQ(row[1], "berlin");
+  Record materialized = d.record(1);
+  EXPECT_EQ(materialized.values,
+            (std::vector<std::string>{"alicia", "berlin"}));
+}
+
+TEST(DatasetTest, AddRowCopiesViewsIntoOwnArena) {
+  Dataset a = TwoColumnDataset();
+  Dataset b{a.schema()};
+  for (RecordId id = 0; id < a.size(); ++id) {
+    b.AddRow(a.Values(id), a.entity(id));
+  }
+  ASSERT_EQ(b.size(), a.size());
+  EXPECT_EQ(b.Value(2, "city"), "paris");
+  // b owns its bytes: they live in b's arena, not a's.
+  EXPECT_NE(b.Value(0, "name").data(), a.Value(0, "name").data());
+}
+
+TEST(DatasetTest, SliceSharesArenaWithoutCopyingBytes) {
+  Dataset d = TwoColumnDataset();
+  const size_t bytes_before = d.arena_bytes();
+  Dataset s = d.Slice(1, 3);
+  // The slice's value views alias the parent's arena bytes exactly — no
+  // record bytes were copied.
+  EXPECT_EQ(s.Value(0, "name").data(), d.Value(1, "name").data());
+  EXPECT_EQ(s.Value(1, "city").data(), d.Value(2, "city").data());
+  EXPECT_EQ(s.arena_bytes(), bytes_before);
+
+  // ...and the parent can go away: the shared arena keeps views alive.
+  Dataset kept = TwoColumnDataset().Slice(0, 2);
+  EXPECT_EQ(kept.Value(0, "name"), "alice");
+  EXPECT_EQ(kept.Value(1, "city"), "berlin");
+}
+
+TEST(DatasetTest, ColdCopySharesArenaButNotFeatures) {
+  Dataset d = TwoColumnDataset();
+  Dataset cold = d.ColdCopy();
+  EXPECT_EQ(cold.size(), d.size());
+  EXPECT_EQ(cold.Value(0, "name").data(), d.Value(0, "name").data());
+}
+
+TEST(SchemaTest, WideSchemaLookupsStayCorrect) {
+  // The name->index map must agree with positional order for wide
+  // schemas (the hash-map fast path replacing the linear scan).
+  std::vector<std::string> names;
+  for (int i = 0; i < 200; ++i) names.push_back("attr" + std::to_string(i));
+  Schema s(names);
+  EXPECT_EQ(s.IndexOf("attr0"), 0);
+  EXPECT_EQ(s.IndexOf("attr199"), 199);
+  EXPECT_EQ(s.IndexOf("attr42"), 42);
+  EXPECT_EQ(s.IndexOf("nope"), -1);
 }
 
 }  // namespace

@@ -1,0 +1,22 @@
+#ifndef SABLOCK_TESTS_RUN_STREAMING_H_
+#define SABLOCK_TESTS_RUN_STREAMING_H_
+
+#include "core/blocking.h"
+#include "data/record.h"
+
+namespace sablock {
+
+/// Runs a technique through the primary streaming Run(dataset, sink) API
+/// and materializes the emitted blocks. Test-side replacement for the
+/// legacy collecting Run(dataset) wrapper (which block_sink_test still
+/// covers directly as API surface).
+inline core::BlockCollection RunStreaming(
+    const core::BlockingTechnique& technique, const data::Dataset& dataset) {
+  core::BlockCollection blocks;
+  technique.Run(dataset, blocks);
+  return blocks;
+}
+
+}  // namespace sablock
+
+#endif  // SABLOCK_TESTS_RUN_STREAMING_H_

@@ -2,20 +2,34 @@
 # Tier-1 verification: configure + build + ctest, failing on first error.
 # Mirrors the command in ROADMAP.md exactly.
 #
-# Optional: `tools/check.sh --tsan` additionally builds the tree with
-# -DSABLOCK_SANITIZE=thread (into build-tsan/) and runs the concurrency
-# tests — thread pool, concurrent sinks, sharded execution engine —
-# under ThreadSanitizer.
+# Optional sanitizer modes:
+#   tools/check.sh --tsan   builds with -DSABLOCK_SANITIZE=thread (into
+#       build-tsan/) and runs the concurrency tests — thread pool,
+#       concurrent sinks, sharded execution engine, feature store — under
+#       ThreadSanitizer.
+#   tools/check.sh --asan   builds with -DSABLOCK_SANITIZE=address,undefined
+#       (into build-asan/) and runs the full test suite under
+#       AddressSanitizer + UBSan — the memory-safety gate for the
+#       arena-backed Dataset and the FeatureStore caches.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DSABLOCK_SANITIZE=thread
   cmake --build build-tsan -j \
-    --target thread_pool_test concurrent_sink_test engine_test
+    --target thread_pool_test concurrent_sink_test engine_test \
+             feature_store_test
   cd build-tsan
   ctest --output-on-failure \
-    -R '^(thread_pool_test|concurrent_sink_test|engine_test)$'
+    -R '^(thread_pool_test|concurrent_sink_test|engine_test|feature_store_test)$'
+  exit 0
+fi
+
+if [[ "${1:-}" == "--asan" ]]; then
+  cmake -B build-asan -S . -DSABLOCK_SANITIZE=address,undefined
+  cmake --build build-asan -j
+  cd build-asan
+  ctest --output-on-failure -j
   exit 0
 fi
 
