@@ -5,7 +5,9 @@
 // blocks and SA-LSH, using the meta-blocking papers' PC / PQ* / FM*.
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/meta_blocking.h"
@@ -14,6 +16,7 @@
 #include "core/domains.h"
 #include "core/lsh_blocker.h"
 #include "eval/harness.h"
+#include "pipeline/pipeline.h"
 
 namespace {
 
@@ -45,6 +48,7 @@ void RunDataset(const char* title, const sablock::data::Dataset& d,
                 FormatDouble(init_m.pq_star, 4),
                 FormatDouble(init_m.fm_star, 3)});
 
+  std::vector<std::pair<MetaPruning, const char*>> best_weights;
   for (MetaPruning pruning : {MetaPruning::kWep, MetaPruning::kCep,
                               MetaPruning::kWnp, MetaPruning::kCnp}) {
     sablock::eval::Metrics best;
@@ -60,6 +64,7 @@ void RunDataset(const char* title, const sablock::data::Dataset& d,
         best_weight = MetaWeightingName(weighting);
       }
     }
+    best_weights.emplace_back(pruning, best_weight);
     table.AddRow({MetaPruningName(pruning), best_weight,
                   FormatDouble(best.pc, 3), FormatDouble(best.pq_star, 4),
                   FormatDouble(best.fm_star, 3)});
@@ -75,6 +80,44 @@ void RunDataset(const char* title, const sablock::data::Dataset& d,
   table.AddRow({"SA-LSH", "-", FormatDouble(sa.pc, 3),
                 FormatDouble(sa.pq_star, 4), FormatDouble(sa.fm_star, 3)});
   table.Print();
+
+  // Per-stage cost breakdown of each pruning recipe, run as the pipeline
+  // `token-blocking | purge | meta` at the best-FM* weighting found
+  // above: where the wall time goes (token postings vs graph phase) and
+  // how each stage reshapes the block/pair stream.
+  std::printf("\npipeline stage timing (token-blocking | purge:max_size=%zu "
+              "| meta) at best weighting\n",
+              purge_size);
+  sablock::eval::TablePrinter timing(
+      {"pruning", "weighting", "t_token", "t_purge", "t_meta", "t_total",
+       "blocks_in", "pairs_out"});
+  const std::string attrs_param = sablock::Join(attributes, "+");
+  for (const auto& [pruning, weight_name] : best_weights) {
+    const std::string spec =
+        "token-blocking:attrs=" + attrs_param +
+        " | purge:max_size=" + std::to_string(purge_size) +
+        " | meta:weight=" + sablock::ToLower(weight_name) +
+        ",prune=" + sablock::ToLower(MetaPruningName(pruning));
+    std::unique_ptr<sablock::pipeline::PipelinedBlocker> pipelined;
+    sablock::Status status = sablock::pipeline::Build(spec, &pipelined);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bad pipeline spec '%s': %s\n", spec.c_str(),
+                   status.message().c_str());
+      std::exit(1);
+    }
+    // Timing-only run: the quality table above already evaluated every
+    // combination, so skip the metrics pass.
+    sablock::eval::PipelineResult run = sablock::eval::RunPipeline(
+        pipelined->blocker(), pipelined->stages(), d, /*evaluate=*/false);
+    timing.AddRow({MetaPruningName(pruning), weight_name,
+                   FormatDouble(run.stages[0].seconds, 3),
+                   FormatDouble(run.stages[1].seconds, 3),
+                   FormatDouble(run.stages[2].seconds, 3),
+                   FormatDouble(run.seconds, 3),
+                   std::to_string(run.stages[1].blocks),
+                   std::to_string(run.stages[2].comparisons)});
+  }
+  timing.Print();
   std::printf("\n");
 }
 

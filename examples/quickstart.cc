@@ -14,6 +14,7 @@
 
 #include "api/registry.h"
 #include "eval/metrics.h"
+#include "pipeline/pipeline.h"
 
 using sablock::data::Dataset;
 using sablock::data::Record;
@@ -92,5 +93,25 @@ int main() {
               textual.InSameBlock(0, 1) ? "yes" : "no");
   std::printf("  co-blocked by SA-LSH : %s\n",
               combined.InSameBlock(0, 1) ? "yes" : "no");
+
+  // 5. Pipelines: any blocker composes with post-processing stages via
+  //    '|' — here SA-LSH, then block purging (drop oversized blocks),
+  //    then a comparison budget that stops the generator early. Stage
+  //    names resolve against the StageRegistry (sablock_cli
+  //    --list-stages shows all of them).
+  std::unique_ptr<sablock::pipeline::PipelinedBlocker> pipelined;
+  sablock::Status status = sablock::pipeline::Build(
+      "sa-lsh:k=2,l=24,q=3,attrs=authors+title,w=5,mode=or,domain=bib"
+      " | purge:max_size=4 | cap:budget=6",
+      &pipelined);
+  if (!status.ok()) {
+    std::fprintf(stderr, "bad pipeline: %s\n", status.message().c_str());
+    return 1;
+  }
+  sablock::core::BlockCollection budgeted;
+  pipelined->Run(d, budgeted);
+  sablock::eval::Metrics m_pipe = sablock::eval::Evaluate(d, budgeted);
+  std::printf("\npipeline %s:\n  %s\n", pipelined->name().c_str(),
+              sablock::eval::Summary(m_pipe).c_str());
   return 0;
 }

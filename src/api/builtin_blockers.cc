@@ -324,6 +324,18 @@ void RegisterSuffixAndEmbedding(BlockerRegistry& r) {
 }
 
 void RegisterCanopyAndMeta(BlockerRegistry& r) {
+  r.Register(
+      {"token-blocking",
+       "token blocking: every distinct token of the key attributes forms "
+       "a block (the canonical generator for purge/meta pipeline stages)",
+       {"token"},
+       {AttrsDoc()}},
+      [](ParamMap& p, std::unique_ptr<BlockingTechnique>* out) {
+        *out = std::make_unique<baselines::TokenBlockingTechnique>(
+            p.GetStringList("attrs", {}));
+        return Status::Ok();
+      });
+
   auto canopy_similarity = [](ParamMap& p) {
     return p.GetEnum<baselines::CanopySimilarity>(
         "sim", baselines::CanopySimilarity::kJaccard,

@@ -1,0 +1,35 @@
+#include "api/pipeline_spec.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace sablock::api {
+
+Status PipelineSpec::Parse(const std::string& text, PipelineSpec* out) {
+  *out = PipelineSpec();
+  const std::vector<std::string> segments = Split(text, '|');
+  for (size_t i = 0; i < segments.size(); ++i) {
+    if (Trim(segments[i]).empty()) {
+      return Status::Error("pipeline spec '" + text + "': segment " +
+                           std::to_string(i + 1) +
+                           " is empty — expected \"blocker | stage | ...\"");
+    }
+    BlockerSpec spec;
+    Status status = BlockerSpec::Parse(segments[i], &spec);
+    if (!status.ok()) {
+      return Status::Error((i == 0 ? std::string("pipeline blocker: ")
+                                   : "pipeline stage " + std::to_string(i) +
+                                         ": ") +
+                           status.message());
+    }
+    if (i == 0) {
+      out->blocker = std::move(spec);
+    } else {
+      out->stages.push_back(std::move(spec));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace sablock::api

@@ -1,0 +1,36 @@
+#ifndef SABLOCK_API_PIPELINE_SPEC_H_
+#define SABLOCK_API_PIPELINE_SPEC_H_
+
+#include <string>
+#include <vector>
+
+#include "api/blocker_spec.h"
+#include "common/status.h"
+
+namespace sablock::api {
+
+/// A parsed block-pipeline description: one block generator followed by
+/// zero or more post-processing stages. The textual grammar extends the
+/// blocker spec with '|'-separated stage segments:
+///
+///   pipeline := blocker-spec { "|" stage-spec }
+///   spec     := name [ ":" params ]
+///   params   := key "=" value { "," key "=" value }
+///
+/// e.g. "token-blocking:attrs=authors+title | purge:max_size=500 |
+/// meta:weight=cbs,prune=wep". Stage segments reuse the blocker spec
+/// grammar (and its ParamMap parameter handling: duplicate keys, type
+/// errors and unknown keys fail loudly); generator names resolve against
+/// the BlockerRegistry, stage names against the pipeline::StageRegistry.
+struct PipelineSpec {
+  BlockerSpec blocker;
+  std::vector<BlockerSpec> stages;
+
+  /// Parses `text` into `out`. A bare blocker spec (no '|') is a valid
+  /// zero-stage pipeline; empty segments are errors.
+  static Status Parse(const std::string& text, PipelineSpec* out);
+};
+
+}  // namespace sablock::api
+
+#endif  // SABLOCK_API_PIPELINE_SPEC_H_

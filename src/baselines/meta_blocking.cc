@@ -1,46 +1,27 @@
 #include "baselines/meta_blocking.h"
 
 #include <algorithm>
-#include <cmath>
-#include <functional>
 #include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
-#include "common/check.h"
-#include "common/string_util.h"
 #include "features/feature_store.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/stages.h"
 
 namespace sablock::baselines {
 
-const char* MetaWeightingName(MetaWeighting w) {
-  switch (w) {
-    case MetaWeighting::kArcs: return "ARCS";
-    case MetaWeighting::kCbs: return "CBS";
-    case MetaWeighting::kEcbs: return "ECBS";
-    case MetaWeighting::kJs: return "JS";
-    case MetaWeighting::kEjs: return "EJS";
-  }
-  return "?";
-}
+TokenBlockingTechnique::TokenBlockingTechnique(
+    std::vector<std::string> attributes)
+    : attributes_(std::move(attributes)) {}
 
-const char* MetaPruningName(MetaPruning p) {
-  switch (p) {
-    case MetaPruning::kWep: return "WEP";
-    case MetaPruning::kCep: return "CEP";
-    case MetaPruning::kWnp: return "WNP";
-    case MetaPruning::kCnp: return "CNP";
-  }
-  return "?";
-}
+std::string TokenBlockingTechnique::name() const { return "TokenBlocking"; }
 
-core::BlockCollection TokenBlocking(
-    const data::Dataset& dataset, const std::vector<std::string>& attributes,
-    size_t max_block_size) {
+void TokenBlockingTechnique::Run(const data::Dataset& dataset,
+                                 core::BlockSink& sink) const {
   // Postings over the interned token ids of the shared token column — no
   // string hashing or tokenization here, just id-indexed appends.
   features::FeatureView::TokenHandle tokens =
-      dataset.features().TokensFor(attributes);
+      dataset.features().TokensFor(attributes_);
   // Postings keyed by token id in a hash map: its footprint follows the
   // tokens this run actually touches, not token_limit — which covers the
   // whole column even when this run is one small shard slice of it.
@@ -52,18 +33,26 @@ core::BlockCollection TokenBlocking(
   }
   // Emit in canonical content order: downstream pruning should see blocks
   // ordered by what they contain, not by how the vocabulary happened to
-  // be discovered.
+  // be discovered. Singleton blocks carry no comparisons and are skipped.
   std::vector<core::Block> kept;
   for (auto& [token, block] : postings) {
-    if (block.size() >= 2 && block.size() <= max_block_size) {
-      kept.push_back(std::move(block));
-    }
+    if (block.size() >= 2) kept.push_back(std::move(block));
   }
   std::sort(kept.begin(), kept.end());
-  core::BlockCollection out;
   for (core::Block& block : kept) {
-    out.Add(std::move(block));
+    if (sink.Done()) break;
+    sink.Consume(std::move(block));
   }
+}
+
+core::BlockCollection TokenBlocking(
+    const data::Dataset& dataset, const std::vector<std::string>& attributes,
+    size_t max_block_size) {
+  core::BlockCollection out;
+  pipeline::PurgeStage purge(max_block_size);
+  purge.Attach(dataset, out);
+  TokenBlockingTechnique(attributes).Run(dataset, purge);
+  purge.Flush();
   return out;
 }
 
@@ -82,167 +71,19 @@ std::string MetaBlocking::name() const {
 
 void MetaBlocking::Run(const data::Dataset& dataset,
                        core::BlockSink& sink) const {
-  // The blocking graph needs the full input collection before pruning can
-  // retain any comparison, so the pipeline materializes and then drains.
-  core::BlockCollection pruned =
-      Prune(dataset, TokenBlocking(dataset, attributes_, max_block_size_));
-  pruned.Drain(sink);
+  // The baseline is literally the pipeline `token-blocking | purge |
+  // meta`: purge streams, meta buffers and runs its graph phase on the
+  // flush (which Pipeline::Run stops at the chain boundary — a technique
+  // never flushes its caller's sink).
+  pipeline::Pipeline stages;
+  stages.Add(std::make_unique<pipeline::PurgeStage>(max_block_size_));
+  stages.Add(std::make_unique<pipeline::MetaStage>(weighting_, pruning_));
+  stages.Run(TokenBlockingTechnique(attributes_), dataset, sink);
 }
-
-namespace {
-
-struct EdgeAccumulator {
-  uint32_t common_blocks = 0;  // CBS
-  double arcs = 0.0;           // Σ 1/||b||
-};
-
-uint64_t PairKey(uint32_t a, uint32_t b) {
-  if (a > b) std::swap(a, b);
-  return (static_cast<uint64_t>(a) << 32) | b;
-}
-
-}  // namespace
 
 core::BlockCollection MetaBlocking::Prune(
     const data::Dataset& dataset, const core::BlockCollection& input) const {
-  // Per-record block membership counts |B_i| and the edge accumulators.
-  std::vector<uint32_t> record_blocks(dataset.size(), 0);
-  std::unordered_map<uint64_t, EdgeAccumulator> edges;
-  for (const core::Block& b : input.blocks()) {
-    double comparisons =
-        static_cast<double>(b.size()) * (static_cast<double>(b.size()) - 1) /
-        2.0;
-    for (data::RecordId id : b) ++record_blocks[id];
-    for (size_t i = 0; i < b.size(); ++i) {
-      for (size_t j = i + 1; j < b.size(); ++j) {
-        if (b[i] == b[j]) continue;
-        EdgeAccumulator& acc = edges[PairKey(b[i], b[j])];
-        ++acc.common_blocks;
-        acc.arcs += 1.0 / comparisons;
-      }
-    }
-  }
-
-  const double num_blocks =
-      std::max<double>(static_cast<double>(input.NumBlocks()), 1.0);
-  const double num_edges =
-      std::max<double>(static_cast<double>(edges.size()), 1.0);
-
-  // Node degrees |v_i| (distinct co-occurring records) for EJS.
-  std::vector<uint32_t> degree(dataset.size(), 0);
-  for (const auto& [key, acc] : edges) {
-    ++degree[static_cast<uint32_t>(key >> 32)];
-    ++degree[static_cast<uint32_t>(key & 0xffffffffULL)];
-  }
-
-  auto weight_of = [&](uint64_t key, const EdgeAccumulator& acc) -> double {
-    uint32_t a = static_cast<uint32_t>(key >> 32);
-    uint32_t b = static_cast<uint32_t>(key & 0xffffffffULL);
-    double cbs = acc.common_blocks;
-    switch (weighting_) {
-      case MetaWeighting::kArcs:
-        return acc.arcs;
-      case MetaWeighting::kCbs:
-        return cbs;
-      case MetaWeighting::kEcbs:
-        return cbs * std::log(num_blocks / record_blocks[a]) *
-               std::log(num_blocks / record_blocks[b]);
-      case MetaWeighting::kJs:
-        return cbs / (record_blocks[a] + record_blocks[b] - cbs);
-      case MetaWeighting::kEjs: {
-        double js = cbs / (record_blocks[a] + record_blocks[b] - cbs);
-        double da = std::max<double>(degree[a], 1.0);
-        double db = std::max<double>(degree[b], 1.0);
-        return js * std::log(num_edges / da) * std::log(num_edges / db);
-      }
-    }
-    return 0.0;
-  };
-
-  struct WeightedEdge {
-    uint64_t key;
-    double weight;
-  };
-  std::vector<WeightedEdge> weighted;
-  weighted.reserve(edges.size());
-  double total_weight = 0.0;
-  for (const auto& [key, acc] : edges) {
-    double w = weight_of(key, acc);
-    weighted.push_back({key, w});
-    total_weight += w;
-  }
-
-  std::vector<uint64_t> kept;
-  switch (pruning_) {
-    case MetaPruning::kWep: {
-      double mean = edges.empty() ? 0.0 : total_weight / num_edges;
-      for (const WeightedEdge& e : weighted) {
-        if (e.weight >= mean) kept.push_back(e.key);
-      }
-      break;
-    }
-    case MetaPruning::kCep: {
-      size_t budget = static_cast<size_t>(input.TotalBlockSizes() / 2);
-      budget = std::min(budget, weighted.size());
-      std::partial_sort(weighted.begin(),
-                        weighted.begin() + static_cast<ptrdiff_t>(budget),
-                        weighted.end(),
-                        [](const WeightedEdge& x, const WeightedEdge& y) {
-                          return x.weight > y.weight;
-                        });
-      for (size_t i = 0; i < budget; ++i) kept.push_back(weighted[i].key);
-      break;
-    }
-    case MetaPruning::kWnp: {
-      // Node-local mean thresholds; keep an edge if it clears the threshold
-      // of either endpoint (the union of the node-centric retained sets).
-      std::vector<double> sum(dataset.size(), 0.0);
-      for (const WeightedEdge& e : weighted) {
-        sum[static_cast<uint32_t>(e.key >> 32)] += e.weight;
-        sum[static_cast<uint32_t>(e.key & 0xffffffffULL)] += e.weight;
-      }
-      for (const WeightedEdge& e : weighted) {
-        uint32_t a = static_cast<uint32_t>(e.key >> 32);
-        uint32_t b = static_cast<uint32_t>(e.key & 0xffffffffULL);
-        double thr_a = degree[a] > 0 ? sum[a] / degree[a] : 0.0;
-        double thr_b = degree[b] > 0 ? sum[b] / degree[b] : 0.0;
-        if (e.weight >= thr_a || e.weight >= thr_b) kept.push_back(e.key);
-      }
-      break;
-    }
-    case MetaPruning::kCnp: {
-      size_t k = static_cast<size_t>(
-          std::max<uint64_t>(1, input.TotalBlockSizes() /
-                                    std::max<size_t>(dataset.size(), 1)));
-      // Gather each node's incident edges, keep its top-k, union them.
-      std::vector<std::vector<std::pair<double, uint64_t>>> incident(
-          dataset.size());
-      for (const WeightedEdge& e : weighted) {
-        incident[static_cast<uint32_t>(e.key >> 32)].emplace_back(e.weight,
-                                                                  e.key);
-        incident[static_cast<uint32_t>(e.key & 0xffffffffULL)].emplace_back(
-            e.weight, e.key);
-      }
-      std::unordered_set<uint64_t> kept_set;
-      for (auto& inc : incident) {
-        size_t keep = std::min(k, inc.size());
-        if (keep == 0) continue;
-        std::partial_sort(inc.begin(),
-                          inc.begin() + static_cast<ptrdiff_t>(keep),
-                          inc.end(), std::greater<>());
-        for (size_t i = 0; i < keep; ++i) kept_set.insert(inc[i].second);
-      }
-      kept.assign(kept_set.begin(), kept_set.end());
-      break;
-    }
-  }
-
-  core::BlockCollection out;
-  for (uint64_t key : kept) {
-    out.Add({static_cast<uint32_t>(key >> 32),
-             static_cast<uint32_t>(key & 0xffffffffULL)});
-  }
-  return out;
+  return pipeline::MetaPrune(dataset.size(), input, weighting_, pruning_);
 }
 
 }  // namespace sablock::baselines

@@ -5,43 +5,48 @@
 #include <string>
 #include <vector>
 
-#include "baselines/blocking_key.h"
 #include "core/blocking.h"
+#include "pipeline/meta_graph.h"
 
 namespace sablock::baselines {
 
-/// Edge-weighting schemes of the meta-blocking paper (Papadakis et al.,
-/// TKDE 2014), used in the Fig. 12 comparison.
-enum class MetaWeighting {
-  kArcs,  ///< Σ over common blocks of 1 / ||b|| (reciprocal comparisons)
-  kCbs,   ///< number of common blocks
-  kEcbs,  ///< CBS · log(|B|/|B_i|) · log(|B|/|B_j|)
-  kJs,    ///< Jaccard of the two records' block sets
-  kEjs,   ///< JS · log(|E|/|v_i|) · log(|E|/|v_j|)
-};
-
-/// Pruning algorithms of the meta-blocking paper.
-enum class MetaPruning {
-  kWep,  ///< weighted edge pruning: keep edges >= global mean weight
-  kCep,  ///< cardinality edge pruning: keep top-K edges, K = ⌊Σ|b|/2⌋
-  kWnp,  ///< weighted node pruning: keep edges >= a node-local mean
-  kCnp,  ///< cardinality node pruning: per-node top-k, k = ⌊Σ|b|/|V|⌋
-};
-
-const char* MetaWeightingName(MetaWeighting w);
-const char* MetaPruningName(MetaPruning p);
+// The weighting/pruning machinery lives in pipeline::MetaPrune so any
+// block generator composes with it as a pipeline stage; these aliases
+// keep the historical baselines:: spellings working for the benches and
+// tests that sweep the Fig. 12 grid.
+using MetaWeighting = pipeline::MetaWeighting;
+using MetaPruning = pipeline::MetaPruning;
+using pipeline::MetaPruningName;
+using pipeline::MetaWeightingName;
 
 /// Token blocking: the canonical schema-agnostic input of meta-blocking.
 /// Every distinct token of the key attributes becomes a block; blocks
-/// larger than `max_block_size` are purged (standard block-purging step,
-/// required to keep the blocking graph tractable).
+/// are emitted in canonical content order (registered as
+/// "token-blocking"). Purging oversized blocks is not this technique's
+/// job — compose with the `purge` pipeline stage.
+class TokenBlockingTechnique : public core::BlockingTechnique {
+ public:
+  explicit TokenBlockingTechnique(std::vector<std::string> attributes);
+
+  std::string name() const override;
+  using core::BlockingTechnique::Run;
+  void Run(const data::Dataset& dataset,
+           core::BlockSink& sink) const override;
+
+ private:
+  std::vector<std::string> attributes_;
+};
+
+/// Collecting convenience wrapper: token blocking with the standard
+/// block-purging step — a `token-blocking | purge:max_size=` pipeline.
 core::BlockCollection TokenBlocking(const data::Dataset& dataset,
                                     const std::vector<std::string>& attributes,
                                     size_t max_block_size);
 
-/// Meta-blocking: builds the blocking graph of an input block collection,
-/// weights its edges, prunes, and returns the retained comparisons as
-/// 2-record blocks.
+/// Meta-blocking baseline: a thin `token-blocking | purge | meta`
+/// pipeline packaged as one technique. Builds the blocking graph of the
+/// purged token blocks, weights its edges, prunes, and emits the retained
+/// comparisons as 2-record blocks.
 class MetaBlocking : public core::BlockingTechnique {
  public:
   MetaBlocking(std::vector<std::string> attributes, MetaWeighting weighting,
@@ -53,7 +58,8 @@ class MetaBlocking : public core::BlockingTechnique {
            core::BlockSink& sink) const override;
 
   /// Runs the graph phase on a pre-built block collection (exposed so the
-  /// Fig. 12 bench can report the initial blocks' metrics too).
+  /// Fig. 12 bench can report the initial blocks' metrics too). Forwards
+  /// to pipeline::MetaPrune.
   core::BlockCollection Prune(const data::Dataset& dataset,
                               const core::BlockCollection& input) const;
 

@@ -38,19 +38,41 @@ class BlockSink {
   /// technique that cannot stop mid-phase may still Consume afterwards and
   /// the sink must tolerate (typically drop) those blocks.
   virtual bool Done() const { return false; }
+
+  /// End-of-stream signal for sink chains. Buffering sinks (pipeline
+  /// barrier stages such as meta-blocking) run their deferred phase here,
+  /// emit downstream, and cascade the flush; pass-through sinks forward
+  /// it; terminal sinks ignore it (the default). Techniques never call
+  /// Flush — the pipeline runner does, exactly once, after the producing
+  /// technique returns.
+  virtual void Flush() {}
 };
 
 /// Sink that keeps only the aggregate counts a quality sweep needs — block
 /// count, Σ|b|, Σ|b|(|b|-1)/2 and the largest block — without storing any
 /// block. O(1) memory regardless of output size.
+///
+/// Terminal by default; constructed with a `next` sink it counts and
+/// forwards, so it can be interposed between pipeline stages to measure
+/// the block/pair stream at any point of a chain (eval::RunPipeline).
 class PairCountingSink : public BlockSink {
  public:
+  PairCountingSink() = default;
+  explicit PairCountingSink(BlockSink& next) : next_(&next) {}
+
   void Consume(Block block) override {
     ++num_blocks_;
     const uint64_t n = block.size();
     comparisons_ += n * (n - 1) / 2;
     total_block_sizes_ += n;
     max_block_size_ = std::max<uint64_t>(max_block_size_, n);
+    if (next_ != nullptr) next_->Consume(std::move(block));
+  }
+
+  bool Done() const override { return next_ != nullptr && next_->Done(); }
+
+  void Flush() override {
+    if (next_ != nullptr) next_->Flush();
   }
 
   uint64_t num_blocks() const { return num_blocks_; }
@@ -60,6 +82,7 @@ class PairCountingSink : public BlockSink {
   uint64_t max_block_size() const { return max_block_size_; }
 
  private:
+  BlockSink* next_ = nullptr;
   uint64_t num_blocks_ = 0;
   uint64_t comparisons_ = 0;
   uint64_t total_block_sizes_ = 0;
@@ -97,6 +120,10 @@ class CappedSink : public BlockSink {
   }
 
   bool Done() const override { return done_; }
+
+  /// End-of-stream always reaches the inner chain, even once the budget
+  /// is spent — a downstream barrier stage still needs its flush.
+  void Flush() override { inner_->Flush(); }
 
   /// Comparisons forwarded so far.
   uint64_t comparisons() const { return comparisons_; }

@@ -36,6 +36,15 @@ class ConcurrentSink : public core::BlockSink {
     return inner_->Done();
   }
 
+  /// Serialized like Consume(). Note the engine's pipeline path does not
+  /// route the end-of-stream through here: the chain is flushed once,
+  /// after every producer has finished (ShardedExecutor::ExecutePipeline),
+  /// so barrier stages see the complete cross-shard stream.
+  void Flush() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_->Flush();
+  }
+
   /// Blocks forwarded to the inner sink so far.
   uint64_t consumed() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -65,6 +74,8 @@ class OffsetSink : public core::BlockSink {
   }
 
   bool Done() const override { return inner_->Done(); }
+
+  void Flush() override { inner_->Flush(); }
 
  private:
   core::BlockSink* inner_;

@@ -127,6 +127,20 @@ void ShardedExecutor::Execute(const core::BlockingTechnique& technique,
   }
 }
 
+void ShardedExecutor::ExecutePipeline(
+    const core::BlockingTechnique& technique,
+    const pipeline::Pipeline& stages, const data::Dataset& dataset,
+    core::BlockSink& sink) const {
+  pipeline::Chain chain = stages.Instantiate(dataset, sink);
+  // In stream mode Execute serializes all shard producers into
+  // chain.head() through its ConcurrentSink; in collect mode the merged
+  // shard collections drain into it in shard order. Either way the
+  // producers are finished when Execute returns, so this is the single
+  // end-of-stream point — the barrier stages run here, at merge.
+  Execute(technique, dataset, chain.head());
+  chain.Flush();
+}
+
 core::BlockCollection ShardedExecutor::ExecuteCollect(
     const core::BlockingTechnique& technique,
     const data::Dataset& dataset) const {

@@ -6,6 +6,7 @@
 #include "core/blocking.h"
 #include "data/record.h"
 #include "engine/execution_spec.h"
+#include "pipeline/pipeline.h"
 
 namespace sablock::engine {
 
@@ -60,6 +61,23 @@ class ShardedExecutor {
   core::BlockCollection ExecuteCollect(
       const core::BlockingTechnique& technique,
       const data::Dataset& dataset) const;
+
+  /// Runs `technique` sharded and `stages` once, globally: the shard
+  /// producers feed one shared stage chain — through the engine's
+  /// ConcurrentSink in stream mode, or via the deterministic shard-order
+  /// merge in collect mode — and the chain is flushed exactly once after
+  /// every shard has finished, so barrier stages (meta-blocking) run
+  /// their graph phase at merge over the full cross-shard stream.
+  ///
+  /// Contrast with Execute(PipelinedBlocker(...)), which instantiates
+  /// the whole pipeline independently inside every shard (per-shard
+  /// graphs over per-shard blocks). `technique` here should be a plain
+  /// generator: a technique that flushes a shared sink per shard would
+  /// fire the global barrier early.
+  void ExecutePipeline(const core::BlockingTechnique& technique,
+                       const pipeline::Pipeline& stages,
+                       const data::Dataset& dataset,
+                       core::BlockSink& sink) const;
 
   const ExecutionSpec& spec() const { return spec_; }
 

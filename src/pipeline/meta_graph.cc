@@ -1,0 +1,193 @@
+#include "pipeline/meta_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace sablock::pipeline {
+
+const char* MetaWeightingName(MetaWeighting w) {
+  switch (w) {
+    case MetaWeighting::kArcs: return "ARCS";
+    case MetaWeighting::kCbs: return "CBS";
+    case MetaWeighting::kEcbs: return "ECBS";
+    case MetaWeighting::kJs: return "JS";
+    case MetaWeighting::kEjs: return "EJS";
+  }
+  return "?";
+}
+
+const char* MetaPruningName(MetaPruning p) {
+  switch (p) {
+    case MetaPruning::kWep: return "WEP";
+    case MetaPruning::kCep: return "CEP";
+    case MetaPruning::kWnp: return "WNP";
+    case MetaPruning::kCnp: return "CNP";
+  }
+  return "?";
+}
+
+namespace {
+
+struct EdgeAccumulator {
+  uint32_t common_blocks = 0;  // CBS
+  double arcs = 0.0;           // Σ 1/||b||
+};
+
+uint64_t PairKey(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+core::BlockCollection MetaPrune(size_t num_records,
+                                const core::BlockCollection& input,
+                                MetaWeighting weighting,
+                                MetaPruning pruning) {
+  // Per-record block membership counts |B_i| and the edge accumulators.
+  std::vector<uint32_t> record_blocks(num_records, 0);
+  std::unordered_map<uint64_t, EdgeAccumulator> edges;
+  for (const core::Block& b : input.blocks()) {
+    double comparisons =
+        static_cast<double>(b.size()) * (static_cast<double>(b.size()) - 1) /
+        2.0;
+    for (data::RecordId id : b) ++record_blocks[id];
+    for (size_t i = 0; i < b.size(); ++i) {
+      for (size_t j = i + 1; j < b.size(); ++j) {
+        if (b[i] == b[j]) continue;
+        EdgeAccumulator& acc = edges[PairKey(b[i], b[j])];
+        ++acc.common_blocks;
+        acc.arcs += 1.0 / comparisons;
+      }
+    }
+  }
+
+  const double num_blocks =
+      std::max<double>(static_cast<double>(input.NumBlocks()), 1.0);
+  const double num_edges =
+      std::max<double>(static_cast<double>(edges.size()), 1.0);
+
+  // Node degrees |v_i| (distinct co-occurring records) for EJS.
+  std::vector<uint32_t> degree(num_records, 0);
+  for (const auto& [key, acc] : edges) {
+    ++degree[static_cast<uint32_t>(key >> 32)];
+    ++degree[static_cast<uint32_t>(key & 0xffffffffULL)];
+  }
+
+  auto weight_of = [&](uint64_t key, const EdgeAccumulator& acc) -> double {
+    uint32_t a = static_cast<uint32_t>(key >> 32);
+    uint32_t b = static_cast<uint32_t>(key & 0xffffffffULL);
+    double cbs = acc.common_blocks;
+    switch (weighting) {
+      case MetaWeighting::kArcs:
+        return acc.arcs;
+      case MetaWeighting::kCbs:
+        return cbs;
+      case MetaWeighting::kEcbs:
+        return cbs * std::log(num_blocks / record_blocks[a]) *
+               std::log(num_blocks / record_blocks[b]);
+      case MetaWeighting::kJs:
+        return cbs / (record_blocks[a] + record_blocks[b] - cbs);
+      case MetaWeighting::kEjs: {
+        double js = cbs / (record_blocks[a] + record_blocks[b] - cbs);
+        double da = std::max<double>(degree[a], 1.0);
+        double db = std::max<double>(degree[b], 1.0);
+        return js * std::log(num_edges / da) * std::log(num_edges / db);
+      }
+    }
+    return 0.0;
+  };
+
+  struct WeightedEdge {
+    uint64_t key;
+    double weight;
+  };
+  std::vector<WeightedEdge> weighted;
+  weighted.reserve(edges.size());
+  double total_weight = 0.0;
+  for (const auto& [key, acc] : edges) {
+    double w = weight_of(key, acc);
+    weighted.push_back({key, w});
+    total_weight += w;
+  }
+
+  std::vector<uint64_t> kept;
+  switch (pruning) {
+    case MetaPruning::kWep: {
+      double mean = edges.empty() ? 0.0 : total_weight / num_edges;
+      for (const WeightedEdge& e : weighted) {
+        if (e.weight >= mean) kept.push_back(e.key);
+      }
+      break;
+    }
+    case MetaPruning::kCep: {
+      size_t budget = static_cast<size_t>(input.TotalBlockSizes() / 2);
+      budget = std::min(budget, weighted.size());
+      std::partial_sort(weighted.begin(),
+                        weighted.begin() + static_cast<ptrdiff_t>(budget),
+                        weighted.end(),
+                        [](const WeightedEdge& x, const WeightedEdge& y) {
+                          return x.weight > y.weight;
+                        });
+      for (size_t i = 0; i < budget; ++i) kept.push_back(weighted[i].key);
+      break;
+    }
+    case MetaPruning::kWnp: {
+      // Node-local mean thresholds; keep an edge if it clears the threshold
+      // of either endpoint (the union of the node-centric retained sets).
+      std::vector<double> sum(num_records, 0.0);
+      for (const WeightedEdge& e : weighted) {
+        sum[static_cast<uint32_t>(e.key >> 32)] += e.weight;
+        sum[static_cast<uint32_t>(e.key & 0xffffffffULL)] += e.weight;
+      }
+      for (const WeightedEdge& e : weighted) {
+        uint32_t a = static_cast<uint32_t>(e.key >> 32);
+        uint32_t b = static_cast<uint32_t>(e.key & 0xffffffffULL);
+        double thr_a = degree[a] > 0 ? sum[a] / degree[a] : 0.0;
+        double thr_b = degree[b] > 0 ? sum[b] / degree[b] : 0.0;
+        if (e.weight >= thr_a || e.weight >= thr_b) kept.push_back(e.key);
+      }
+      break;
+    }
+    case MetaPruning::kCnp: {
+      size_t k = static_cast<size_t>(
+          std::max<uint64_t>(1, input.TotalBlockSizes() /
+                                    std::max<size_t>(num_records, 1)));
+      // Gather each node's incident edges, keep its top-k, union them.
+      std::vector<std::vector<std::pair<double, uint64_t>>> incident(
+          num_records);
+      for (const WeightedEdge& e : weighted) {
+        incident[static_cast<uint32_t>(e.key >> 32)].emplace_back(e.weight,
+                                                                  e.key);
+        incident[static_cast<uint32_t>(e.key & 0xffffffffULL)].emplace_back(
+            e.weight, e.key);
+      }
+      std::unordered_set<uint64_t> kept_set;
+      for (auto& inc : incident) {
+        size_t keep = std::min(k, inc.size());
+        if (keep == 0) continue;
+        std::partial_sort(inc.begin(),
+                          inc.begin() + static_cast<ptrdiff_t>(keep),
+                          inc.end(), std::greater<>());
+        for (size_t i = 0; i < keep; ++i) kept_set.insert(inc[i].second);
+      }
+      kept.assign(kept_set.begin(), kept_set.end());
+      break;
+    }
+  }
+
+  core::BlockCollection out;
+  for (uint64_t key : kept) {
+    out.Add({static_cast<uint32_t>(key >> 32),
+             static_cast<uint32_t>(key & 0xffffffffULL)});
+  }
+  return out;
+}
+
+}  // namespace sablock::pipeline

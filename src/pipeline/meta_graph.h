@@ -1,0 +1,44 @@
+#ifndef SABLOCK_PIPELINE_META_GRAPH_H_
+#define SABLOCK_PIPELINE_META_GRAPH_H_
+
+#include <cstddef>
+
+#include "core/blocking.h"
+
+namespace sablock::pipeline {
+
+/// Edge-weighting schemes of the meta-blocking paper (Papadakis et al.,
+/// TKDE 2014). The blocking graph has one node per record and one edge
+/// per record pair sharing at least one block.
+enum class MetaWeighting {
+  kArcs,  ///< Σ over common blocks of 1 / ||b|| (reciprocal comparisons)
+  kCbs,   ///< number of common blocks
+  kEcbs,  ///< CBS · log(|B|/|B_i|) · log(|B|/|B_j|)
+  kJs,    ///< Jaccard of the two records' block sets
+  kEjs,   ///< JS · log(|E|/|v_i|) · log(|E|/|v_j|)
+};
+
+/// Pruning algorithms of the meta-blocking paper.
+enum class MetaPruning {
+  kWep,  ///< weighted edge pruning: keep edges >= global mean weight
+  kCep,  ///< cardinality edge pruning: keep top-K edges, K = ⌊Σ|b|/2⌋
+  kWnp,  ///< weighted node pruning: keep edges >= a node-local mean
+  kCnp,  ///< cardinality node pruning: per-node top-k, k = ⌊Σ|b|/|V|⌋
+};
+
+const char* MetaWeightingName(MetaWeighting w);
+const char* MetaPruningName(MetaPruning p);
+
+/// The graph phase of meta-blocking, reusable by any pipeline: builds the
+/// blocking graph of `input` (whose record ids must lie in
+/// [0, num_records)), weights its edges, prunes, and returns the retained
+/// comparisons as 2-record blocks. Deterministic for a given input block
+/// order.
+core::BlockCollection MetaPrune(size_t num_records,
+                                const core::BlockCollection& input,
+                                MetaWeighting weighting,
+                                MetaPruning pruning);
+
+}  // namespace sablock::pipeline
+
+#endif  // SABLOCK_PIPELINE_META_GRAPH_H_

@@ -1,0 +1,77 @@
+#include "pipeline/pipeline.h"
+
+#include <utility>
+
+#include "api/registry.h"
+#include "pipeline/stage_registry.h"
+
+namespace sablock::pipeline {
+
+std::string Pipeline::name() const {
+  std::string out;
+  for (const auto& stage : stages_) {
+    if (!out.empty()) out += " | ";
+    out += stage->name();
+  }
+  return out;
+}
+
+Chain Pipeline::Instantiate(const data::Dataset& dataset,
+                            core::BlockSink& sink) const {
+  Chain chain;
+  chain.boundary_ = std::make_unique<Chain::Boundary>(sink);
+  chain.stages_.reserve(stages_.size());
+  for (const auto& stage : stages_) chain.stages_.push_back(stage->Clone());
+  // Wire back-to-front: the last stage forwards into the flush-absorbing
+  // boundary in front of the caller's sink, every earlier stage into its
+  // successor.
+  core::BlockSink* next = chain.boundary_.get();
+  for (auto it = chain.stages_.rbegin(); it != chain.stages_.rend(); ++it) {
+    (*it)->Attach(dataset, *next);
+    next = it->get();
+  }
+  chain.head_ = next;
+  return chain;
+}
+
+void Pipeline::Run(const core::BlockingTechnique& technique,
+                   const data::Dataset& dataset,
+                   core::BlockSink& sink) const {
+  Chain chain = Instantiate(dataset, sink);
+  technique.Run(dataset, chain.head());
+  chain.Flush();
+}
+
+std::string PipelinedBlocker::name() const {
+  std::string out = blocker_->name();
+  if (!stages_.empty()) out += " | " + stages_.name();
+  return out;
+}
+
+Status Build(api::PipelineSpec spec, std::unique_ptr<PipelinedBlocker>* out) {
+  out->reset();
+  std::unique_ptr<core::BlockingTechnique> blocker;
+  Status status =
+      api::BlockerRegistry::Global().Create(std::move(spec.blocker), &blocker);
+  if (!status.ok()) return status;
+  Pipeline stages;
+  for (api::BlockerSpec& stage_spec : spec.stages) {
+    std::unique_ptr<PipelineStage> stage;
+    status = StageRegistry::Global().Create(std::move(stage_spec), &stage);
+    if (!status.ok()) return status;
+    stages.Add(std::move(stage));
+  }
+  *out = std::make_unique<PipelinedBlocker>(std::move(blocker),
+                                            std::move(stages));
+  return Status::Ok();
+}
+
+Status Build(const std::string& spec_string,
+             std::unique_ptr<PipelinedBlocker>* out) {
+  api::PipelineSpec spec;
+  Status status = api::PipelineSpec::Parse(spec_string, &spec);
+  if (!status.ok()) return status;
+  return Build(std::move(spec), out);
+}
+
+}  // namespace sablock::pipeline

@@ -1,0 +1,82 @@
+#include "pipeline/stage_registry.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sablock::pipeline {
+
+StageRegistry& StageRegistry::Global() {
+  static StageRegistry* registry = [] {
+    auto* r = new StageRegistry();
+    internal::RegisterBuiltinStages(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void StageRegistry::Register(StageInfo info, Factory factory) {
+  SABLOCK_CHECK_MSG(!info.name.empty(), "stage registry: empty stage name");
+  const size_t slot = entries_.size();
+  auto claim = [&](const std::string& name) {
+    bool inserted = index_.emplace(ToLower(name), slot).second;
+    SABLOCK_CHECK_MSG(inserted, name.c_str());
+  };
+  claim(info.name);
+  for (const std::string& alias : info.aliases) claim(alias);
+  entries_.emplace_back(std::move(info), std::move(factory));
+}
+
+Status StageRegistry::Create(const std::string& spec_string,
+                             std::unique_ptr<PipelineStage>* out) const {
+  api::BlockerSpec spec;
+  Status status = api::BlockerSpec::Parse(spec_string, &spec);
+  if (!status.ok()) return status;
+  return Create(std::move(spec), out);
+}
+
+Status StageRegistry::Create(api::BlockerSpec spec,
+                             std::unique_ptr<PipelineStage>* out) const {
+  out->reset();
+  auto it = index_.find(ToLower(spec.name));
+  if (it == index_.end()) {
+    std::string known;
+    for (const StageInfo& info : List()) {
+      if (!known.empty()) known += ", ";
+      known += info.name;
+    }
+    return Status::Error("unknown stage '" + spec.name +
+                         "' (known: " + known + ")");
+  }
+  const auto& [info, factory] = entries_[it->second];
+  Status status = factory(spec.params, out);
+  if (!status.ok()) {
+    return Status::Error(info.name + ": " + status.message());
+  }
+  status = spec.params.Finish();
+  if (!status.ok()) {
+    out->reset();
+    return Status::Error(info.name + ": " + status.message());
+  }
+  SABLOCK_CHECK(*out != nullptr);
+  return Status::Ok();
+}
+
+bool StageRegistry::Contains(const std::string& name) const {
+  return index_.count(ToLower(name)) > 0;
+}
+
+std::vector<StageInfo> StageRegistry::List() const {
+  std::vector<StageInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [info, factory] : entries_) infos.push_back(info);
+  std::sort(infos.begin(), infos.end(),
+            [](const StageInfo& a, const StageInfo& b) {
+              return a.name < b.name;
+            });
+  return infos;
+}
+
+}  // namespace sablock::pipeline

@@ -1,0 +1,146 @@
+// Golden equivalence for the meta-blocking refactor: the pipeline
+// `token-blocking | purge | meta` must reproduce the legacy monolithic
+// `MetaBlocking::Run` byte-identically — same blocks, same order — for
+// every weighting × pruning combination, both single-threaded and
+// through the sharded engine (merge=collect, where the legacy baseline
+// and the pipelined blocker each run whole per record shard). This keeps
+// the thin wrapper covered and pins the refactored graph phase to the
+// original algorithm.
+//
+// (The absolute output is additionally pinned by feature_golden_test's
+// pre-refactor meta golden hash; this test sweeps the full 20-combo grid
+// for wrapper/pipeline equivalence.)
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "api/registry.h"
+#include "baselines/meta_blocking.h"
+#include "common/string_util.h"
+#include "core/blocking.h"
+#include "data/cora_generator.h"
+#include "engine/sharded_executor.h"
+#include "pipeline/pipeline.h"
+
+namespace sablock {
+namespace {
+
+using baselines::MetaBlocking;
+using baselines::MetaPruning;
+using baselines::MetaPruningName;
+using baselines::MetaWeighting;
+using baselines::MetaWeightingName;
+using core::BlockCollection;
+
+constexpr MetaWeighting kWeightings[] = {
+    MetaWeighting::kArcs, MetaWeighting::kCbs, MetaWeighting::kEcbs,
+    MetaWeighting::kJs, MetaWeighting::kEjs};
+constexpr MetaPruning kPrunings[] = {MetaPruning::kWep, MetaPruning::kCep,
+                                     MetaPruning::kWnp, MetaPruning::kCnp};
+constexpr size_t kPurgeSize = 300;
+
+data::Dataset GoldenDataset() {
+  data::CoraGeneratorConfig config;
+  config.num_entities = 40;
+  config.num_records = 400;
+  config.seed = 42;
+  return data::GenerateCoraLike(config);
+}
+
+std::unique_ptr<pipeline::PipelinedBlocker> BuildPipeline(MetaWeighting w,
+                                                          MetaPruning p) {
+  const std::string spec =
+      "token-blocking:attrs=authors+title | purge:max_size=" +
+      std::to_string(kPurgeSize) +
+      " | meta:weight=" + ToLower(MetaWeightingName(w)) +
+      ",prune=" + ToLower(MetaPruningName(p));
+  std::unique_ptr<pipeline::PipelinedBlocker> pipelined;
+  Status status = pipeline::Build(spec, &pipelined);
+  EXPECT_TRUE(status.ok()) << spec << ": " << status.message();
+  return pipelined;
+}
+
+TEST(PipelineGoldenTest, AllCombosMatchLegacyMetaBlockingByteIdentically) {
+  data::Dataset d = GoldenDataset();
+  for (MetaWeighting w : kWeightings) {
+    for (MetaPruning p : kPrunings) {
+      MetaBlocking legacy({"authors", "title"}, w, p, kPurgeSize);
+      BlockCollection expected;
+      legacy.Run(d, expected);
+
+      std::unique_ptr<pipeline::PipelinedBlocker> pipelined =
+          BuildPipeline(w, p);
+      ASSERT_NE(pipelined, nullptr);
+      BlockCollection actual;
+      pipelined->Run(d, actual);
+
+      ASSERT_GT(expected.NumBlocks(), 0u) << legacy.name();
+      EXPECT_EQ(actual.blocks(), expected.blocks()) << legacy.name();
+    }
+  }
+}
+
+TEST(PipelineGoldenTest, AllCombosMatchThroughShardedEngineCollect) {
+  data::Dataset d = GoldenDataset();
+  engine::ExecutionSpec spec;
+  ASSERT_TRUE(engine::ExecutionSpec::Parse("threads=2,shards=3,merge=collect",
+                                           &spec)
+                  .ok());
+  engine::ShardedExecutor executor(spec);
+  for (MetaWeighting w : kWeightings) {
+    for (MetaPruning p : kPrunings) {
+      MetaBlocking legacy({"authors", "title"}, w, p, kPurgeSize);
+      BlockCollection expected = executor.ExecuteCollect(legacy, d);
+
+      std::unique_ptr<pipeline::PipelinedBlocker> pipelined =
+          BuildPipeline(w, p);
+      ASSERT_NE(pipelined, nullptr);
+      BlockCollection actual = executor.ExecuteCollect(*pipelined, d);
+
+      ASSERT_GT(expected.NumBlocks(), 0u) << legacy.name();
+      EXPECT_EQ(actual.blocks(), expected.blocks()) << legacy.name();
+    }
+  }
+}
+
+TEST(PipelineGoldenTest, TokenBlockingHelperEqualsTokenPurgePipeline) {
+  data::Dataset d = GoldenDataset();
+  BlockCollection legacy =
+      baselines::TokenBlocking(d, {"authors", "title"}, kPurgeSize);
+  std::unique_ptr<pipeline::PipelinedBlocker> pipelined;
+  ASSERT_TRUE(pipeline::Build("token-blocking:attrs=authors+title | "
+                              "purge:max_size=" +
+                                  std::to_string(kPurgeSize),
+                              &pipelined)
+                  .ok());
+  BlockCollection actual;
+  pipelined->Run(d, actual);
+  ASSERT_GT(legacy.NumBlocks(), 0u);
+  EXPECT_EQ(actual.blocks(), legacy.blocks());
+}
+
+TEST(PipelineGoldenTest, RegisteredMetaBlockerStillMatchesLegacyClass) {
+  // The `meta` registry entry (the one-technique packaging) must keep
+  // producing the same blocks as the pipeline it now wraps.
+  data::Dataset d = GoldenDataset();
+  std::unique_ptr<core::BlockingTechnique> registered;
+  ASSERT_TRUE(api::BlockerRegistry::Global()
+                  .Create("meta:weighting=ejs,pruning=cnp,max-block=" +
+                              std::to_string(kPurgeSize) +
+                              ",attrs=authors+title",
+                          &registered)
+                  .ok());
+  BlockCollection from_registry;
+  registered->Run(d, from_registry);
+
+  std::unique_ptr<pipeline::PipelinedBlocker> pipelined =
+      BuildPipeline(MetaWeighting::kEjs, MetaPruning::kCnp);
+  BlockCollection from_pipeline;
+  pipelined->Run(d, from_pipeline);
+  EXPECT_EQ(from_registry.blocks(), from_pipeline.blocks());
+}
+
+}  // namespace
+}  // namespace sablock

@@ -51,6 +51,20 @@ TEST(BlockerSpecTest, NameOnlyAndWhitespaceTolerance) {
   EXPECT_EQ(spec.params.GetInt("l", 0), 2);
 }
 
+TEST(ParamMapTest, RejectsDuplicateKeysWithClearError) {
+  // Silent last-write-wins would make "k=4,k=9" run with k=9 and no
+  // warning; the parse must fail and name the offending key instead.
+  ParamMap params;
+  Status status = ParamMap::Parse("k=4,l=2,k=9", &params);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("'k'"), std::string::npos);
+  EXPECT_NE(status.message().find("more than once"), std::string::npos);
+  // Same key with the same value is still a duplicate.
+  EXPECT_FALSE(ParamMap::Parse("k=4,k=4", &params).ok());
+  // Whitespace around the key does not disguise the duplicate.
+  EXPECT_FALSE(ParamMap::Parse("k=4, k =9", &params).ok());
+}
+
 TEST(BlockerSpecTest, RejectsMalformedSpecs) {
   BlockerSpec spec;
   EXPECT_FALSE(BlockerSpec::Parse("", &spec).ok());

@@ -5,12 +5,14 @@
 # Optional sanitizer modes:
 #   tools/check.sh --tsan   builds with -DSABLOCK_SANITIZE=thread (into
 #       build-tsan/) and runs the concurrency tests — thread pool,
-#       concurrent sinks, sharded execution engine, feature store — under
-#       ThreadSanitizer.
+#       concurrent sinks, sharded execution engine, feature store, and
+#       the block pipeline (sharded stream mode feeding one global stage
+#       chain through ConcurrentSink) — under ThreadSanitizer.
 #   tools/check.sh --asan   builds with -DSABLOCK_SANITIZE=address,undefined
-#       (into build-asan/) and runs the full test suite under
-#       AddressSanitizer + UBSan — the memory-safety gate for the
-#       arena-backed Dataset and the FeatureStore caches.
+#       (into build-asan/) and runs the full test suite (including the
+#       pipeline and stage tests) under AddressSanitizer + UBSan — the
+#       memory-safety gate for the arena-backed Dataset, the FeatureStore
+#       caches and the stage chains' buffered blocks.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,10 +20,10 @@ if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DSABLOCK_SANITIZE=thread
   cmake --build build-tsan -j \
     --target thread_pool_test concurrent_sink_test engine_test \
-             feature_store_test
+             feature_store_test pipeline_test pipeline_golden_test
   cd build-tsan
   ctest --output-on-failure \
-    -R '^(thread_pool_test|concurrent_sink_test|engine_test|feature_store_test)$'
+    -R '^(thread_pool_test|concurrent_sink_test|engine_test|feature_store_test|pipeline_test|pipeline_golden_test)$'
   exit 0
 fi
 

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "api/blocker_spec.h"
+#include "api/pipeline_spec.h"
 #include "api/registry.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -31,7 +32,10 @@
 #include "data/cora_generator.h"
 #include "data/csv.h"
 #include "data/voter_generator.h"
+#include "eval/harness.h"
 #include "eval/metrics.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/stage_registry.h"
 
 namespace {
 
@@ -72,10 +76,11 @@ Flags ParseFlags(int argc, char** argv) {
 
 void PrintUsage() {
   std::printf(
-      "usage: sablock_cli --list\n"
+      "usage: sablock_cli --list | --list-stages\n"
       "       sablock_cli (--input=FILE [--entity-column=COL] |\n"
       "                    --generate=cora|voter --records=N)\n"
-      "                   --technique \"name:key=val,key=val,...\"\n"
+      "                   (--technique \"name:key=val,key=val,...\" |\n"
+      "                    --pipeline \"blocker | stage:params | ...\")\n"
       "                   [--attrs=a,b[,c...]]  (default for attrs= param)\n"
       "                   [--pairs-out=FILE]    (write candidate pairs)\n"
       "                   [--blocks-out=FILE]   (write blocks)\n"
@@ -90,9 +95,46 @@ void PrintUsage() {
       "never span shards, and results depend on the shard count but\n"
       "never on the thread count (merge=collect is deterministic).\n"
       "\n"
+      "--pipeline composes any blocker with post-processing stages, e.g.\n"
+      "  \"token-blocking | purge:max_size=500 | meta:weight=cbs,prune=wep\"\n"
+      "and reports per-stage block/pair counts and timings. Under\n"
+      "--threads/--shards the generator runs sharded while the stages run\n"
+      "once, globally (barrier stages fire at merge).\n"
+      "\n"
       "The technique spec drives the blocker registry; legacy flags\n"
       "(--k, --l, --q, --w, --mode, --window, --probes, --domain,\n"
       " --seed) are folded into the spec as defaults.\n");
+}
+
+void PrintEntry(const std::string& name, const std::string& summary,
+                const std::vector<std::string>& alias_list,
+                const std::vector<sablock::api::ParamDoc>& params) {
+  std::string aliases;
+  for (const std::string& alias : alias_list) {
+    aliases += aliases.empty() ? " (alias: " : ", ";
+    aliases += alias;
+  }
+  if (!aliases.empty()) aliases += ")";
+  std::printf("  %-8s%s\n", name.c_str(), aliases.c_str());
+  std::printf("    %s\n", summary.c_str());
+  for (const sablock::api::ParamDoc& param : params) {
+    std::printf("      %-16s default=%-6s %s\n", param.name.c_str(),
+                param.default_value.empty() ? "-"
+                                            : param.default_value.c_str(),
+                param.help.c_str());
+  }
+}
+
+void PrintStages() {
+  std::printf("registered pipeline stages:\n\n");
+  for (const sablock::pipeline::StageInfo& info :
+       sablock::pipeline::StageRegistry::Global().List()) {
+    PrintEntry(info.name, info.summary, info.aliases, info.params);
+  }
+  std::printf(
+      "\npipeline grammar: \"blocker | stage:key=val,... | stage\", e.g.\n"
+      "  \"token-blocking:attrs=authors+title | purge:max_size=500 |\n"
+      "   meta:weight=cbs,prune=wep\"\n");
 }
 
 void PrintRegistry() {
@@ -100,24 +142,12 @@ void PrintRegistry() {
       sablock::api::BlockerRegistry::Global();
   std::printf("registered blocking techniques:\n\n");
   for (const sablock::api::BlockerInfo& info : registry.List()) {
-    std::string aliases;
-    for (const std::string& alias : info.aliases) {
-      aliases += aliases.empty() ? " (alias: " : ", ";
-      aliases += alias;
-    }
-    if (!aliases.empty()) aliases += ")";
-    std::printf("  %-8s%s\n", info.name.c_str(), aliases.c_str());
-    std::printf("    %s\n", info.summary.c_str());
-    for (const sablock::api::ParamDoc& param : info.params) {
-      std::printf("      %-16s default=%-6s %s\n", param.name.c_str(),
-                  param.default_value.empty() ? "-"
-                                              : param.default_value.c_str(),
-                  param.help.c_str());
-    }
+    PrintEntry(info.name, info.summary, info.aliases, info.params);
   }
   std::printf(
       "\nspec grammar: name[:key=val,key=val,...]; list values join\n"
-      "elements with '+', e.g. \"lsh:k=4,l=63,attrs=authors+title\"\n");
+      "elements with '+', e.g. \"lsh:k=4,l=63,attrs=authors+title\"\n\n");
+  PrintStages();
 }
 
 /// Folds the legacy per-parameter flags under the spec as defaults, so old
@@ -145,34 +175,51 @@ int main(int argc, char** argv) {
     PrintRegistry();
     return 0;
   }
+  if (flags.Has("list-stages")) {
+    PrintStages();
+    return 0;
+  }
 
-  // --- technique (built from the registry spec string) ------------------
-  sablock::api::BlockerSpec spec;
+  // --- technique or pipeline (built from registry spec strings) ---------
+  if (flags.Has("pipeline") && flags.Has("technique")) {
+    std::fprintf(stderr,
+                 "error: pass either --technique or --pipeline, not both\n");
+    return 1;
+  }
+  const bool use_pipeline = flags.Has("pipeline");
+  sablock::api::PipelineSpec pipeline_spec;
   sablock::Status status =
-      sablock::api::BlockerSpec::Parse(flags.Get("technique", "lsh"), &spec);
+      use_pipeline
+          ? sablock::api::PipelineSpec::Parse(flags.Get("pipeline"),
+                                              &pipeline_spec)
+          : sablock::api::BlockerSpec::Parse(flags.Get("technique", "lsh"),
+                                             &pipeline_spec.blocker);
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.message().c_str());
     return 1;
   }
-  ApplyLegacyFlags(flags, &spec);
+  // Legacy flags and --attrs layer defaults under the generator segment.
+  sablock::api::BlockerSpec& blocker_spec = pipeline_spec.blocker;
+  ApplyLegacyFlags(flags, &blocker_spec);
 
   std::vector<std::string> attrs =
       sablock::Split(flags.Get("attrs", ""), ',');
   attrs.erase(std::remove(attrs.begin(), attrs.end(), std::string()),
               attrs.end());
   if (!attrs.empty()) {
-    spec.params.SetIfAbsent("attrs", sablock::Join(attrs, "+"));
+    blocker_spec.params.SetIfAbsent("attrs", sablock::Join(attrs, "+"));
   }
   // The effective blocking attributes (from --attrs or the spec itself),
   // validated against the schema once the dataset is loaded.
   {
-    sablock::api::ParamMap params_peek = spec.params;
+    sablock::api::ParamMap params_peek = blocker_spec.params;
     attrs = params_peek.GetStringList("attrs", {});
   }
   // Only sa-lsh carries its own attribute default (the domain's paper
   // attributes); everything else blocks on nothing without attrs, which
   // is never what the user wants.
-  if (attrs.empty() && spec.name != "sa-lsh" && spec.name != "salsh") {
+  if (attrs.empty() && blocker_spec.name != "sa-lsh" &&
+      blocker_spec.name != "salsh") {
     std::fprintf(stderr,
                  "error: no blocking attributes — pass --attrs=a,b or an "
                  "attrs= spec param\n");
@@ -180,11 +227,18 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<BlockingTechnique> technique;
-  status = sablock::api::BlockerRegistry::Global().Create(std::move(spec),
-                                                          &technique);
+  std::unique_ptr<sablock::pipeline::PipelinedBlocker> pipelined;
+  if (use_pipeline) {
+    status = sablock::pipeline::Build(std::move(pipeline_spec), &pipelined);
+  } else {
+    status = sablock::api::BlockerRegistry::Global().Create(
+        std::move(blocker_spec), &technique);
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.message().c_str());
-    std::fprintf(stderr, "hint: sablock_cli --list shows all techniques\n");
+    std::fprintf(stderr,
+                 "hint: sablock_cli --list shows all techniques and "
+                 "pipeline stages\n");
     return 1;
   }
 
@@ -249,31 +303,77 @@ int main(int argc, char** argv) {
 
   // --- run (the last repeat's collection serves metrics and outputs) ----
   sablock::core::BlockCollection blocks;
+  std::vector<sablock::eval::StageCounts> stage_counts;
+  sablock::eval::Metrics metrics;
   double min_seconds = 0.0;
   double total_seconds = 0.0;
   for (int run = 0; run < repeat; ++run) {
-    // Detach the feature cache per run so every repetition pays the full
-    // end-to-end build; without this, runs 2..N would hit the warm
-    // FeatureStore and the reported min/mean would exclude extraction.
-    sablock::data::Dataset cold = dataset.ColdCopy();
-    sablock::WallTimer timer;
-    if (use_engine) {
-      // Execute honours the spec's merge mode (collect is deterministic;
-      // stream collects in arrival order through a ConcurrentSink).
-      blocks = sablock::core::BlockCollection();
-      executor.Execute(*technique, cold, blocks);
+    double seconds = 0.0;
+    if (pipelined != nullptr) {
+      // RunPipeline detaches the feature cache itself (cold-path timing)
+      // and interposes counting sinks after the generator and every
+      // stage. With engine flags the generator runs sharded and the
+      // stages run once, globally (barrier stages fire at merge). Only
+      // the final repetition pays the quality-metrics pass.
+      const bool evaluate = run + 1 == repeat;
+      sablock::eval::PipelineResult result =
+          use_engine ? sablock::eval::RunPipelineSharded(
+                           pipelined->blocker(), pipelined->stages(),
+                           dataset, exec, evaluate)
+                     : sablock::eval::RunPipeline(pipelined->blocker(),
+                                                  pipelined->stages(),
+                                                  dataset, evaluate);
+      seconds = result.seconds;
+      blocks = std::move(result.blocks);
+      stage_counts = std::move(result.stages);
+      metrics = result.metrics;
     } else {
-      blocks = sablock::core::BlockCollection();
-      technique->Run(cold, blocks);
+      // Detach the feature cache per run so every repetition pays the
+      // full end-to-end build; without this, runs 2..N would hit the
+      // warm FeatureStore and the reported min/mean would exclude
+      // extraction.
+      sablock::data::Dataset cold = dataset.ColdCopy();
+      sablock::WallTimer timer;
+      if (use_engine) {
+        // Execute honours the spec's merge mode (collect is
+        // deterministic; stream collects in arrival order through a
+        // ConcurrentSink).
+        blocks = sablock::core::BlockCollection();
+        executor.Execute(*technique, cold, blocks);
+      } else {
+        blocks = sablock::core::BlockCollection();
+        technique->Run(cold, blocks);
+      }
+      seconds = timer.Seconds();
     }
-    double seconds = timer.Seconds();
     min_seconds = run == 0 ? seconds : std::min(min_seconds, seconds);
     total_seconds += seconds;
   }
-  sablock::eval::Metrics metrics = sablock::eval::Evaluate(dataset, blocks);
-  std::printf("technique: %s\n", technique->name().c_str());
+  // The pipeline path's metrics come with the RunPipeline result;
+  // re-evaluating the same collection here would repeat the
+  // distinct-pair scan.
+  if (pipelined == nullptr) {
+    metrics = sablock::eval::Evaluate(dataset, blocks);
+  }
+  if (pipelined != nullptr) {
+    std::printf("pipeline: %s\n", pipelined->name().c_str());
+  } else {
+    std::printf("technique: %s\n", technique->name().c_str());
+  }
   if (use_engine) {
     std::printf("engine: %s\n", exec.ToString().c_str());
+  }
+  if (!stage_counts.empty()) {
+    sablock::eval::TablePrinter table(
+        {"stage", "blocks", "comparisons", "max", "seconds"});
+    for (const sablock::eval::StageCounts& s : stage_counts) {
+      char seconds_buf[32];
+      std::snprintf(seconds_buf, sizeof(seconds_buf), "%.3f", s.seconds);
+      table.AddRow({s.name, std::to_string(s.blocks),
+                    std::to_string(s.comparisons),
+                    std::to_string(s.max_block_size), seconds_buf});
+    }
+    table.Print();
   }
   std::printf("blocks: %llu (max size %llu), candidate pairs: %llu, "
               "build time: %.3fs\n",
