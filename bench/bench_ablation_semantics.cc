@@ -19,20 +19,23 @@
 #include "core/lsh_blocker.h"
 #include "core/semhash.h"
 #include "eval/harness.h"
+#include "scenarios.h"
 
-int main(int argc, char** argv) {
-  using sablock::FormatDouble;
+namespace sablock::bench {
+namespace {
+
+int RunAblationSemantics(report::BenchContext& ctx) {
   using sablock::core::BlockCollection;
   using sablock::core::LshBlocker;
   using sablock::core::SemanticAwareLshBlocker;
   using sablock::core::SemanticMode;
   using sablock::core::SemanticParams;
 
-  size_t records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(records);
+  size_t records = ctx.SizeOr("cora", 1879, 400);
+  sablock::data::Dataset d = MakePaperCora(records);
   sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
   const sablock::core::Taxonomy& taxonomy = domain.taxonomy();
-  sablock::core::LshParams p = sablock::bench::CoraLshParams();
+  sablock::core::LshParams p = CoraLshParams();
 
   std::printf("Ablation (E12) on the Cora-like data set (%zu records)\n\n",
               d.size());
@@ -46,7 +49,7 @@ int main(int argc, char** argv) {
   // other's warm shingles/signatures and the A-vs-B timing stays fair.
   sablock::data::Dataset d_a = d.ColdCopy();
   sablock::WallTimer t_a;
-  BlockCollection sa_blocks = sablock::bench::RunStreaming(
+  BlockCollection sa_blocks = RunStreaming(
       SemanticAwareLshBlocker(p, sp, domain.semantics), d_a);
   double secs_a = t_a.Seconds();
   sablock::eval::Metrics m_a = sablock::eval::Evaluate(d, sa_blocks);
@@ -54,8 +57,7 @@ int main(int argc, char** argv) {
   // --- Variant B: plain LSH + post-hoc pairwise semantic filter. -------
   sablock::data::Dataset d_b = d.ColdCopy();
   sablock::WallTimer t_b;
-  BlockCollection lsh_blocks =
-      sablock::bench::RunStreaming(LshBlocker(p), d_b);
+  BlockCollection lsh_blocks = RunStreaming(LshBlocker(p), d_b);
   auto zetas = domain.semantics->InterpretAll(d);
   sablock::PairSet lsh_pairs = lsh_blocks.DistinctPairs();
   BlockCollection filtered;
@@ -80,27 +82,27 @@ int main(int argc, char** argv) {
 
   sablock::eval::Metrics m_lsh = sablock::eval::Evaluate(d, lsh_blocks);
 
-  sablock::eval::TablePrinter table(
+  eval::TablePrinter table(
       {"variant", "PC", "PQ", "RR", "FM", "pairs", "time(s)"});
-  table.AddRow({"plain LSH (no semantics)", FormatDouble(m_lsh.pc, 4),
-                FormatDouble(m_lsh.pq, 4), FormatDouble(m_lsh.rr, 4),
-                FormatDouble(m_lsh.fm, 4),
-                std::to_string(m_lsh.distinct_pairs), "-"});
-  table.AddRow({"SA-LSH (in-table sub-buckets)", FormatDouble(m_a.pc, 4),
-                FormatDouble(m_a.pq, 4), FormatDouble(m_a.rr, 4),
-                FormatDouble(m_a.fm, 4),
-                std::to_string(m_a.distinct_pairs),
-                FormatDouble(secs_a, 3)});
-  table.AddRow({"LSH + post-hoc Eq.5 filter", FormatDouble(m_b.pc, 4),
-                FormatDouble(m_b.pq, 4), FormatDouble(m_b.rr, 4),
-                FormatDouble(m_b.fm, 4),
-                std::to_string(m_b.distinct_pairs),
-                FormatDouble(secs_b, 3)});
-  table.AddRow({"LSH + post-hoc semhash filter", FormatDouble(m_c.pc, 4),
-                FormatDouble(m_c.pq, 4), FormatDouble(m_c.rr, 4),
-                FormatDouble(m_c.fm, 4),
-                std::to_string(m_c.distinct_pairs),
-                FormatDouble(secs_c, 3)});
+  auto add = [&](const char* variant, const sablock::eval::Metrics& m,
+                 double seconds) {
+    table.AddRow({variant, FormatDouble(m.pc, 4), FormatDouble(m.pq, 4),
+                  FormatDouble(m.rr, 4), FormatDouble(m.fm, 4),
+                  std::to_string(m.distinct_pairs),
+                  seconds < 0 ? "-" : FormatDouble(seconds, 3)});
+    report::RunResult run;
+    run.name = variant;
+    run.dataset = "cora-like";
+    run.dataset_records = d.size();
+    run.has_metrics = true;
+    run.metrics = m;
+    if (seconds >= 0) run.time = report::SummarizeSeconds({seconds});
+    ctx.Record(std::move(run));
+  };
+  add("plain LSH (no semantics)", m_lsh, -1.0);
+  add("SA-LSH (in-table sub-buckets)", m_a, secs_a);
+  add("LSH + post-hoc Eq.5 filter", m_b, secs_b);
+  add("LSH + post-hoc semhash filter", m_c, secs_c);
   table.Print();
 
   std::printf(
@@ -111,3 +113,15 @@ int main(int argc, char** argv) {
       "pair set, which dominates variant B/C cost at scale.\n");
   return 0;
 }
+
+}  // namespace
+
+void RegisterAblationSemantics(report::BenchRegistry& registry) {
+  registry.Register(
+      {"ablation_semantics",
+       "SA-LSH sub-bucketing vs post-hoc semantic filtering (E12)",
+       {"cora"}},
+      RunAblationSemantics);
+}
+
+}  // namespace sablock::bench

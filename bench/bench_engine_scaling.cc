@@ -3,17 +3,17 @@
 // execution engine at 1, 2, 4 and 8 threads over a pinned shard count.
 //
 // Because the shard count (not the thread count) defines the computation,
-// every row produces the identical merged BlockCollection — the bench
-// verifies PC/PQ/RR equality exactly — and the time column isolates pure
-// threading speedup over a pre-warmed FeatureStore (cold feature builds
-// are serialized behind the store's once_flag, so they are warmed once,
-// untimed). Reports speedup vs. the 1-thread row; expect ~min(
-// threads, cores, shards)x on idle multi-core hardware (the acceptance
-// bar is >1.5x at 4 threads; a single-core machine cannot show >1x and
-// the bench prints the hardware parallelism so that is visible).
+// every row produces the identical merged BlockCollection — the scenario
+// verifies PC/PQ/RR equality exactly and FAILS (nonzero exit) otherwise —
+// and the time column isolates pure threading speedup over a pre-warmed
+// FeatureStore (cold feature builds are serialized behind the store's
+// once_flag, so they are warmed once, untimed). Reports speedup vs. the
+// 1-thread row; expect ~min(threads, cores, shards)x on idle multi-core
+// hardware (a single-core machine cannot show >1x and the scenario
+// prints the hardware parallelism so that is visible).
 //
-// Flags: --records=N (default 50000), --shards=M (default 8),
-//        --repeat=R (default 2; min wall time over R runs per row).
+// Flags: --records=N (default 50000), --shards=M (default 8), plus the
+// runner's --repeat (min wall time over R runs per row).
 
 #include <cstdio>
 #include <string>
@@ -26,15 +26,16 @@
 #include "engine/thread_pool.h"
 #include "eval/harness.h"
 #include "eval/metrics.h"
+#include "scenarios.h"
 
-int main(int argc, char** argv) {
-  using sablock::FormatDouble;
+namespace sablock::bench {
+namespace {
 
-  size_t records = sablock::bench::SizeFlag(argc, argv, "records", 50000);
-  int shards = static_cast<int>(
-      sablock::bench::SizeFlag(argc, argv, "shards", 8));
-  int repeat = static_cast<int>(
-      sablock::bench::SizeFlag(argc, argv, "repeat", 2));
+int RunEngineScaling(report::BenchContext& ctx) {
+  size_t records = ctx.SizeOr("records", 50000, 4000);
+  int shards = static_cast<int>(ctx.SizeOr("shards", 8, 4));
+  // Timing rows want best-of-2 even when the runner default is 1.
+  int repeat = ctx.repeat > 1 ? ctx.repeat : 2;
 
   std::printf(
       "Engine scaling: SA-LSH on %zu Voter-like records, %d shards,\n"
@@ -42,23 +43,24 @@ int main(int argc, char** argv) {
       records, shards, repeat,
       sablock::engine::ThreadPool::DefaultThreads());
 
-  sablock::data::Dataset dataset = sablock::bench::MakePaperVoter(records);
+  sablock::data::Dataset dataset = MakePaperVoter(records);
+  const std::string spec_string =
+      "sa-lsh:domain=voter,k=9,l=15,q=2,w=12,mode=or";
   std::unique_ptr<sablock::core::BlockingTechnique> technique =
-      sablock::bench::FromSpec(
-          "sa-lsh:domain=voter,k=9,l=15,q=2,w=12,mode=or");
+      FromSpec(spec_string);
 
   // Warm the shared feature cache once, untimed: cold feature-column
   // builds run single-threaded inside the store's once_flag (every shard
   // waits on the first), so timing them would Amdahl-cap the speedup
   // column. With a warm store the rows isolate the engine's parallel
-  // bucketing + merge — the thing this bench exists to measure.
+  // bucketing + merge — the thing this scenario exists to measure.
   {
     sablock::core::BlockCollection warmup;
     technique->Run(dataset, warmup);
   }
 
-  sablock::eval::TablePrinter table({"threads", "shards", "PC", "PQ", "RR",
-                                     "blocks", "time(s)", "speedup"});
+  eval::TablePrinter table({"threads", "shards", "PC", "PQ", "RR",
+                            "blocks", "time(s)", "speedup"});
   double base_seconds = 0.0;
   sablock::eval::Metrics base_metrics;
   bool metrics_identical = true;
@@ -69,14 +71,16 @@ int main(int argc, char** argv) {
     spec.shards = shards;
     sablock::engine::ShardedExecutor executor(spec);
 
-    double best = 0.0;
+    std::vector<double> seconds;
     sablock::core::BlockCollection blocks;
     for (int run = 0; run < repeat; ++run) {
       sablock::WallTimer timer;
       blocks = executor.ExecuteCollect(*technique, dataset);
-      double seconds = timer.Seconds();
-      if (run == 0 || seconds < best) best = seconds;
+      seconds.push_back(timer.Seconds());
     }
+    report::RepeatStats stats =
+        report::SummarizeSeconds(std::move(seconds));
+    double best = stats.min_s;
     sablock::eval::Metrics m = sablock::eval::Evaluate(dataset, blocks);
 
     if (threads == 1) {
@@ -95,6 +99,18 @@ int main(int argc, char** argv) {
                       m.num_blocks)),
                   FormatDouble(best, 3),
                   FormatDouble(base_seconds / best, 2) + "x"});
+
+    report::RunResult run;
+    run.name = "threads=" + std::to_string(threads);
+    run.spec = spec_string;
+    run.dataset = "voter-like";
+    run.dataset_records = dataset.size();
+    run.AddParam("threads", std::to_string(threads));
+    run.AddParam("shards", std::to_string(shards));
+    run.time = stats;
+    run.has_metrics = true;
+    run.metrics = m;
+    ctx.Record(std::move(run));
   }
   table.Print();
 
@@ -103,3 +119,15 @@ int main(int argc, char** argv) {
               metrics_identical ? "PASS" : "FAIL");
   return metrics_identical ? 0 : 1;
 }
+
+}  // namespace
+
+void RegisterEngineScaling(report::BenchRegistry& registry) {
+  registry.Register(
+      {"engine_scaling",
+       "sharded-engine threading speedup + determinism check",
+       {"records", "shards"}},
+      RunEngineScaling);
+}
+
+}  // namespace sablock::bench

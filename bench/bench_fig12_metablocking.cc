@@ -17,10 +17,11 @@
 #include "core/lsh_blocker.h"
 #include "eval/harness.h"
 #include "pipeline/pipeline.h"
+#include "scenarios.h"
 
+namespace sablock::bench {
 namespace {
 
-using sablock::FormatDouble;
 using sablock::baselines::MetaBlocking;
 using sablock::baselines::MetaPruning;
 using sablock::baselines::MetaPruningName;
@@ -31,7 +32,24 @@ using sablock::core::SemanticAwareLshBlocker;
 using sablock::core::SemanticMode;
 using sablock::core::SemanticParams;
 
-void RunDataset(const char* title, const sablock::data::Dataset& d,
+void RecordStarMetrics(report::BenchContext& ctx, const char* dataset_label,
+                       const sablock::data::Dataset& d, std::string name,
+                       const char* weighting,
+                       const sablock::eval::Metrics& m) {
+  report::RunResult run;
+  run.name = std::move(name);
+  run.dataset = dataset_label;
+  run.dataset_records = d.size();
+  if (weighting != nullptr) run.AddParam("weighting", weighting);
+  run.has_metrics = true;
+  run.metrics = m;
+  ctx.Record(std::move(run));
+}
+
+/// Returns false when a pipeline spec fails to build (a scenario bug
+/// that must fail the suite, not silently drop the timing table).
+bool RunDataset(report::BenchContext& ctx, const char* title,
+                const char* dataset_label, const sablock::data::Dataset& d,
                 const std::vector<std::string>& attributes,
                 const sablock::core::LshParams& lsh_params,
                 const sablock::core::Domain& domain, int full_width,
@@ -42,11 +60,12 @@ void RunDataset(const char* title, const sablock::data::Dataset& d,
       TokenBlocking(d, attributes, purge_size);
   sablock::eval::Metrics init_m = sablock::eval::Evaluate(d, initial);
 
-  sablock::eval::TablePrinter table(
-      {"method", "weighting", "PC", "PQ*", "FM*"});
+  eval::TablePrinter table({"method", "weighting", "PC", "PQ*", "FM*"});
   table.AddRow({"(initial blocks)", "-", FormatDouble(init_m.pc, 3),
                 FormatDouble(init_m.pq_star, 4),
                 FormatDouble(init_m.fm_star, 3)});
+  RecordStarMetrics(ctx, dataset_label, d, "initial blocks", nullptr,
+                    init_m);
 
   std::vector<std::pair<MetaPruning, const char*>> best_weights;
   for (MetaPruning pruning : {MetaPruning::kWep, MetaPruning::kCep,
@@ -68,6 +87,8 @@ void RunDataset(const char* title, const sablock::data::Dataset& d,
     table.AddRow({MetaPruningName(pruning), best_weight,
                   FormatDouble(best.pc, 3), FormatDouble(best.pq_star, 4),
                   FormatDouble(best.fm_star, 3)});
+    RecordStarMetrics(ctx, dataset_label, d, MetaPruningName(pruning),
+                      best_weight, best);
   }
 
   SemanticParams sp;
@@ -75,10 +96,11 @@ void RunDataset(const char* title, const sablock::data::Dataset& d,
   sp.mode = SemanticMode::kOr;
   sp.seed = 11;
   sablock::eval::Metrics sa = sablock::eval::Evaluate(
-      d, sablock::bench::RunStreaming(
+      d, RunStreaming(
              SemanticAwareLshBlocker(lsh_params, sp, domain.semantics), d));
   table.AddRow({"SA-LSH", "-", FormatDouble(sa.pc, 3),
                 FormatDouble(sa.pq_star, 4), FormatDouble(sa.fm_star, 3)});
+  RecordStarMetrics(ctx, dataset_label, d, "SA-LSH", nullptr, sa);
   table.Print();
 
   // Per-stage cost breakdown of each pruning recipe, run as the pipeline
@@ -88,27 +110,34 @@ void RunDataset(const char* title, const sablock::data::Dataset& d,
   std::printf("\npipeline stage timing (token-blocking | purge:max_size=%zu "
               "| meta) at best weighting\n",
               purge_size);
-  sablock::eval::TablePrinter timing(
+  eval::TablePrinter timing(
       {"pruning", "weighting", "t_token", "t_purge", "t_meta", "t_total",
        "blocks_in", "pairs_out"});
-  const std::string attrs_param = sablock::Join(attributes, "+");
+  const std::string attrs_param = Join(attributes, "+");
   for (const auto& [pruning, weight_name] : best_weights) {
     const std::string spec =
         "token-blocking:attrs=" + attrs_param +
         " | purge:max_size=" + std::to_string(purge_size) +
-        " | meta:weight=" + sablock::ToLower(weight_name) +
-        ",prune=" + sablock::ToLower(MetaPruningName(pruning));
+        " | meta:weight=" + ToLower(weight_name) +
+        ",prune=" + ToLower(MetaPruningName(pruning));
     std::unique_ptr<sablock::pipeline::PipelinedBlocker> pipelined;
-    sablock::Status status = sablock::pipeline::Build(spec, &pipelined);
+    Status status = sablock::pipeline::Build(spec, &pipelined);
     if (!status.ok()) {
       std::fprintf(stderr, "bad pipeline spec '%s': %s\n", spec.c_str(),
                    status.message().c_str());
-      std::exit(1);
+      return false;
     }
-    // Timing-only run: the quality table above already evaluated every
-    // combination, so skip the metrics pass.
-    sablock::eval::PipelineResult run = sablock::eval::RunPipeline(
-        pipelined->blocker(), pipelined->stages(), d, /*evaluate=*/false);
+    // Timing-only runs: the quality table above already evaluated every
+    // combination, so skip the metrics pass. Per-stage counts are
+    // identical across repeats; the recorded seconds keep the last
+    // repetition's per-stage split while `time` summarizes the totals.
+    sablock::eval::PipelineResult run;
+    report::RepeatStats stats = ctx.TimeRepeats([&](int) {
+      run = sablock::eval::RunPipeline(pipelined->blocker(),
+                                       pipelined->stages(), d,
+                                       /*evaluate=*/false);
+      return run.seconds;
+    });
     timing.AddRow({MetaPruningName(pruning), weight_name,
                    FormatDouble(run.stages[0].seconds, 3),
                    FormatDouble(run.stages[1].seconds, 3),
@@ -116,31 +145,43 @@ void RunDataset(const char* title, const sablock::data::Dataset& d,
                    FormatDouble(run.seconds, 3),
                    std::to_string(run.stages[1].blocks),
                    std::to_string(run.stages[2].comparisons)});
+
+    report::RunResult result;
+    result.name = std::string("pipeline ") + MetaPruningName(pruning);
+    result.spec = spec;
+    result.dataset = dataset_label;
+    result.dataset_records = d.size();
+    result.AddParam("weighting", weight_name);
+    result.time = stats;
+    for (const sablock::eval::StageCounts& stage : run.stages) {
+      result.stages.push_back({stage.name, stage.blocks, stage.comparisons,
+                               stage.max_block_size, stage.seconds});
+    }
+    ctx.Record(std::move(result));
   }
   timing.Print();
   std::printf("\n");
+  return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  size_t cora_records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
-  size_t voter_records =
-      sablock::bench::SizeFlag(argc, argv, "voter", 30000);
+int RunFig12MetaBlocking(report::BenchContext& ctx) {
+  size_t cora_records = ctx.SizeOr("cora", 1879, 400);
+  size_t voter_records = ctx.SizeOr("voter", 30000, 2000);
 
   std::printf("Fig. 12 reproduction (E9): SA-LSH vs meta-blocking\n\n");
 
-  RunDataset("(a) Cora-like data set",
-             sablock::bench::MakePaperCora(cora_records),
-             {"authors", "title"}, sablock::bench::CoraLshParams(),
-             sablock::core::MakeBibliographicDomain(), /*full_width=*/5,
-             /*purge_size=*/400);
+  bool ok = RunDataset(
+      ctx, "(a) Cora-like data set", "cora-like",
+      MakePaperCora(cora_records), {"authors", "title"}, CoraLshParams(),
+      sablock::core::MakeBibliographicDomain(), /*full_width=*/5,
+      /*purge_size=*/400);
 
-  RunDataset("(b) Voter-like data set",
-             sablock::bench::MakePaperVoter(voter_records),
-             {"first_name", "last_name"}, sablock::bench::VoterLshParams(),
-             sablock::core::MakeVoterDomain(), /*full_width=*/12,
-             /*purge_size=*/500);
+  ok = RunDataset(ctx, "(b) Voter-like data set", "voter-like",
+                  MakePaperVoter(voter_records),
+                  {"first_name", "last_name"}, VoterLshParams(),
+                  sablock::core::MakeVoterDomain(), /*full_width=*/12,
+                  /*purge_size=*/500) &&
+       ok;
 
   std::printf(
       "Shape check (paper, Fig. 12): meta-blocking's best pruning beats\n"
@@ -148,5 +189,17 @@ int main(int argc, char** argv) {
       "pairs, so PQ* is high by construction), while SA-LSH retains more\n"
       "true matches per pruning aggressiveness — on Cora it has the\n"
       "highest PC of all pruned methods, as in the paper.\n");
-  return 0;
+  return ok ? 0 : 1;
 }
+
+}  // namespace
+
+void RegisterFig12MetaBlocking(report::BenchRegistry& registry) {
+  registry.Register(
+      {"fig12_metablocking",
+       "SA-LSH vs meta-blocking with per-stage pipeline timing (E9)",
+       {"cora", "voter"}},
+      RunFig12MetaBlocking);
+}
+
+}  // namespace sablock::bench

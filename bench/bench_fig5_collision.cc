@@ -8,11 +8,16 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/string_util.h"
 #include "core/collision.h"
 #include "eval/harness.h"
+#include "scenarios.h"
 
-int main() {
+namespace sablock::bench {
+namespace {
+
+int RunFig5Collision(report::BenchContext& ctx) {
   using sablock::core::SemanticMode;
   using sablock::core::WWayProbability;
 
@@ -24,26 +29,27 @@ int main() {
 
   std::vector<std::string> headers = {"side", "w"};
   for (double s : similarities) {
-    headers.push_back("s'=" + sablock::FormatDouble(s, 1));
+    headers.push_back("s'=" + FormatDouble(s, 1));
   }
-  sablock::eval::TablePrinter table(headers);
+  eval::TablePrinter table(headers);
 
-  for (int w = 15; w >= 1; --w) {
-    std::vector<std::string> row = {"AND", std::to_string(w)};
+  auto emit = [&](SemanticMode mode, const char* side, int w) {
+    std::vector<std::string> row = {side, std::to_string(w)};
+    report::RunResult run;
+    run.name = std::string(side) + ",w=" + std::to_string(w);
+    run.AddParam("mode", side);
+    run.AddParam("w", std::to_string(w));
     for (double s : similarities) {
-      row.push_back(sablock::FormatDouble(
-          WWayProbability(s, w, SemanticMode::kAnd), 4));
+      double p = WWayProbability(s, w, mode);
+      row.push_back(FormatDouble(p, 4));
+      run.AddValue("p_s" + FormatDouble(s, 1), p);
     }
     table.AddRow(std::move(row));
-  }
-  for (int w = 1; w <= 15; ++w) {
-    std::vector<std::string> row = {"OR", std::to_string(w)};
-    for (double s : similarities) {
-      row.push_back(sablock::FormatDouble(
-          WWayProbability(s, w, SemanticMode::kOr), 4));
-    }
-    table.AddRow(std::move(row));
-  }
+    ctx.Record(std::move(run));
+  };
+
+  for (int w = 15; w >= 1; --w) emit(SemanticMode::kAnd, "AND", w);
+  for (int w = 1; w <= 15; ++w) emit(SemanticMode::kOr, "OR", w);
   table.Print();
 
   std::printf(
@@ -51,3 +57,15 @@ int main() {
       "towards 1, and both sides meet at w=1 where AND == OR == s'.\n");
   return 0;
 }
+
+}  // namespace
+
+void RegisterFig5Collision(report::BenchRegistry& registry) {
+  registry.Register(
+      {"fig5_collision",
+       "analytic collision probability of w-way semantic hashes (E1)",
+       {}},
+      RunFig5Collision);
+}
+
+}  // namespace sablock::bench

@@ -12,14 +12,17 @@
 #include "core/collision.h"
 #include "core/tuning.h"
 #include "eval/harness.h"
+#include "scenarios.h"
 
+namespace sablock::bench {
 namespace {
 
-using sablock::FormatDouble;
 using sablock::core::LshCollisionProbability;
 using sablock::core::MinTablesFor;
 
-void PrintDistributions(const char* title, const sablock::data::Dataset& d,
+void PrintDistributions(report::BenchContext& ctx, const char* title,
+                        const char* dataset_label,
+                        const sablock::data::Dataset& d,
                         const std::vector<std::string>& attributes) {
   std::printf("%s — true-match similarity distribution (%% per bin)\n",
               title);
@@ -36,7 +39,7 @@ void PrintDistributions(const char* title, const sablock::data::Dataset& d,
 
   std::vector<std::string> headers = {"similarity"};
   for (const std::string& l : labels) headers.push_back(l);
-  sablock::eval::TablePrinter table(headers);
+  eval::TablePrinter table(headers);
   for (int bin = 0; bin < dists[0].num_bins(); ++bin) {
     std::vector<std::string> row = {
         FormatDouble(dists[0].BinLowerEdge(bin), 2) + "-" +
@@ -49,42 +52,69 @@ void PrintDistributions(const char* title, const sablock::data::Dataset& d,
   table.Print();
   std::printf("  true-match pairs measured: %llu\n\n",
               static_cast<unsigned long long>(dists[1].count()));
+
+  // One RunResult per q-gram setting: the full bin histogram plus the
+  // measured pair count, all deterministic given the generator seed.
+  for (size_t i = 0; i < dists.size(); ++i) {
+    report::RunResult run;
+    run.name = "distribution " + labels[i];
+    run.dataset = dataset_label;
+    run.dataset_records = d.size();
+    run.AddParam("q", labels[i]);
+    run.AddValue("pairs", static_cast<double>(dists[i].count()));
+    for (int bin = 0; bin < dists[i].num_bins(); ++bin) {
+      run.AddValue("bin" + FormatDouble(dists[i].BinLowerEdge(bin), 2),
+                   dists[i].BinFraction(bin));
+    }
+    ctx.Record(std::move(run));
+  }
 }
 
-void PrintCollisionCurves(const char* title,
+void PrintCollisionCurves(report::BenchContext& ctx, const char* title,
+                          const char* series_label,
                           const std::vector<std::pair<int, int>>& settings) {
   std::printf("%s — collision probability 1-(1-s^k)^l\n", title);
   std::vector<std::string> headers = {"s"};
   for (auto [k, l] : settings) {
     headers.push_back("k=" + std::to_string(k) + ",l=" + std::to_string(l));
   }
-  sablock::eval::TablePrinter table(headers);
+  eval::TablePrinter table(headers);
+  std::vector<report::RunResult> runs;
+  for (auto [k, l] : settings) {
+    report::RunResult run;
+    run.name = std::string(series_label) + " k=" + std::to_string(k) +
+               ",l=" + std::to_string(l);
+    run.AddParam("k", std::to_string(k));
+    run.AddParam("l", std::to_string(l));
+    runs.push_back(std::move(run));
+  }
   for (double s = 0.0; s <= 1.0001; s += 0.1) {
     std::vector<std::string> row = {FormatDouble(s, 1)};
-    for (auto [k, l] : settings) {
-      row.push_back(FormatDouble(LshCollisionProbability(s, k, l), 4));
+    for (size_t i = 0; i < settings.size(); ++i) {
+      auto [k, l] = settings[i];
+      double p = LshCollisionProbability(s, k, l);
+      row.push_back(FormatDouble(p, 4));
+      runs[i].AddValue("p_s" + FormatDouble(s, 1), p);
     }
     table.AddRow(std::move(row));
   }
   table.Print();
   std::printf("\n");
+  for (report::RunResult& run : runs) ctx.Record(std::move(run));
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  size_t cora_records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
-  size_t voter_records =
-      sablock::bench::SizeFlag(argc, argv, "voter", 30000);
+int RunFig6Distributions(report::BenchContext& ctx) {
+  size_t cora_records = ctx.SizeOr("cora", 1879, 400);
+  size_t voter_records = ctx.SizeOr("voter", 30000, 2000);
 
   std::printf("Fig. 6 reproduction (E2)\n\n");
 
-  sablock::data::Dataset cora = sablock::bench::MakePaperCora(cora_records);
-  PrintDistributions("(a) Cora-like data set", cora, {"authors", "title"});
+  sablock::data::Dataset cora = MakePaperCora(cora_records);
+  PrintDistributions(ctx, "(a) Cora-like data set", "cora-like", cora,
+                     {"authors", "title"});
 
-  sablock::data::Dataset voter =
-      sablock::bench::MakePaperVoter(voter_records);
-  PrintDistributions("(b) Voter-like data set", voter,
+  sablock::data::Dataset voter = MakePaperVoter(voter_records);
+  PrintDistributions(ctx, "(b) Voter-like data set", "voter-like", voter,
                      {"first_name", "last_name"});
 
   // Lower-left subgraph: the Cora (k, l) ladder. Each l is the minimum
@@ -94,12 +124,14 @@ int main(int argc, char** argv) {
   for (int k = 1; k <= 6; ++k) {
     cora_settings.emplace_back(k, MinTablesFor(0.3, k, 0.4));
   }
-  PrintCollisionCurves("(c) Cora collision curves", cora_settings);
+  PrintCollisionCurves(ctx, "(c) Cora collision curves", "cora-curve",
+                       cora_settings);
 
   // Lower-right subgraph: Voter curves for k=4..9, l=15.
   std::vector<std::pair<int, int>> voter_settings;
   for (int k = 4; k <= 9; ++k) voter_settings.emplace_back(k, 15);
-  PrintCollisionCurves("(d) Voter collision curves (l=15)", voter_settings);
+  PrintCollisionCurves(ctx, "(d) Voter collision curves (l=15)",
+                       "voter-curve", voter_settings);
 
   std::printf(
       "Shape check (paper): Cora matches spread over low similarities\n"
@@ -107,3 +139,15 @@ int main(int argc, char** argv) {
       "the k-ladder reproduces l=2,6,19,63,210,701.\n");
   return 0;
 }
+
+}  // namespace
+
+void RegisterFig6Distributions(report::BenchRegistry& registry) {
+  registry.Register(
+      {"fig6_distributions",
+       "true-match similarity distributions + collision curves (E2)",
+       {"cora", "voter"}},
+      RunFig6Distributions);
+}
+
+}  // namespace sablock::bench

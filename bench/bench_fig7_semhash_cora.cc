@@ -13,17 +13,20 @@
 #include "core/domains.h"
 #include "core/lsh_blocker.h"
 #include "eval/harness.h"
+#include "scenarios.h"
 
-int main(int argc, char** argv) {
-  using sablock::FormatDouble;
+namespace sablock::bench {
+namespace {
+
+int RunFig7SemhashCora(report::BenchContext& ctx) {
   using sablock::core::SemanticAwareLshBlocker;
   using sablock::core::SemanticMode;
   using sablock::core::SemanticParams;
 
-  size_t records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(records);
+  size_t records = ctx.SizeOr("cora", 1879, 400);
+  sablock::data::Dataset d = MakePaperCora(records);
   sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
-  sablock::core::LshParams lsh = sablock::bench::CoraLshParams();
+  sablock::core::LshParams lsh = CoraLshParams();
 
   std::printf("Fig. 7 reproduction (E4): semantic hash functions on the\n"
               "Cora-like data set (%zu records), k=%d l=%d\n\n",
@@ -42,21 +45,27 @@ int main(int argc, char** argv) {
       {"H15 (w=4,OR)", 4, SemanticMode::kOr},
   };
 
-  sablock::eval::TablePrinter table(
+  eval::TablePrinter table(
       {"config", "PC", "PQ", "RR", "FM", "pairs", "time(s)"});
   for (const Config& config : configs) {
     SemanticParams sp;
     sp.w = config.w;
     sp.mode = config.mode;
     sp.seed = 11;
-    sablock::eval::TechniqueResult r = sablock::eval::RunTechnique(
-        SemanticAwareLshBlocker(lsh, sp, domain.semantics), d);
+    report::RepeatStats stats;
+    eval::TechniqueResult r = RunTimed(
+        ctx, SemanticAwareLshBlocker(lsh, sp, domain.semantics), d, &stats);
     table.AddRow({config.label, FormatDouble(r.metrics.pc, 4),
                   FormatDouble(r.metrics.pq, 4),
                   FormatDouble(r.metrics.rr, 4),
                   FormatDouble(r.metrics.fm, 4),
                   std::to_string(r.metrics.distinct_pairs),
                   FormatDouble(r.seconds, 3)});
+    report::RunResult run =
+        TechniqueRun(config.label, "", "cora-like", d, r, stats);
+    run.AddParam("w", std::to_string(config.w));
+    run.AddParam("mode", config.mode == SemanticMode::kAnd ? "and" : "or");
+    ctx.Record(std::move(run));
   }
   table.Print();
 
@@ -66,3 +75,15 @@ int main(int argc, char** argv) {
       "most selective); RR decreases slightly as collisions increase.\n");
   return 0;
 }
+
+}  // namespace
+
+void RegisterFig7SemhashCora(report::BenchRegistry& registry) {
+  registry.Register(
+      {"fig7_semhash_cora",
+       "SA-LSH semantic hash functions H11..H15 on Cora (E4)",
+       {"cora"}},
+      RunFig7SemhashCora);
+}
+
+}  // namespace sablock::bench

@@ -12,17 +12,20 @@
 #include "core/domains.h"
 #include "core/lsh_blocker.h"
 #include "eval/harness.h"
+#include "scenarios.h"
 
-int main(int argc, char** argv) {
-  using sablock::FormatDouble;
+namespace sablock::bench {
+namespace {
+
+int RunFig8SemhashVoter(report::BenchContext& ctx) {
   using sablock::core::SemanticAwareLshBlocker;
   using sablock::core::SemanticMode;
   using sablock::core::SemanticParams;
 
-  size_t records = sablock::bench::SizeFlag(argc, argv, "voter", 30000);
-  sablock::data::Dataset d = sablock::bench::MakePaperVoter(records);
+  size_t records = ctx.SizeOr("voter", 30000, 2000);
+  sablock::data::Dataset d = MakePaperVoter(records);
   sablock::core::Domain domain = sablock::core::MakeVoterDomain();
-  sablock::core::LshParams lsh = sablock::bench::VoterLshParams();
+  sablock::core::LshParams lsh = VoterLshParams();
 
   std::printf("Fig. 8 reproduction (E5): semantic hash functions on the\n"
               "Voter-like data set (%zu records), k=%d l=%d\n\n",
@@ -37,21 +40,27 @@ int main(int argc, char** argv) {
       {"H24 (w=7,OR)", 7}, {"H25 (w=9,OR)", 9},
   };
 
-  sablock::eval::TablePrinter table(
+  eval::TablePrinter table(
       {"config", "PC", "PQ", "RR", "FM", "pairs", "time(s)"});
   for (const Config& config : configs) {
     SemanticParams sp;
     sp.w = config.w;
     sp.mode = SemanticMode::kOr;
     sp.seed = 11;
-    sablock::eval::TechniqueResult r = sablock::eval::RunTechnique(
-        SemanticAwareLshBlocker(lsh, sp, domain.semantics), d);
+    report::RepeatStats stats;
+    eval::TechniqueResult r = RunTimed(
+        ctx, SemanticAwareLshBlocker(lsh, sp, domain.semantics), d, &stats);
     table.AddRow({config.label, FormatDouble(r.metrics.pc, 4),
                   FormatDouble(r.metrics.pq, 4),
                   FormatDouble(r.metrics.rr, 4),
                   FormatDouble(r.metrics.fm, 4),
                   std::to_string(r.metrics.distinct_pairs),
                   FormatDouble(r.seconds, 3)});
+    report::RunResult run =
+        TechniqueRun(config.label, "", "voter-like", d, r, stats);
+    run.AddParam("w", std::to_string(config.w));
+    run.AddParam("mode", "or");
+    ctx.Record(std::move(run));
   }
   table.Print();
 
@@ -62,3 +71,15 @@ int main(int argc, char** argv) {
       "semantic signature bits.\n");
   return 0;
 }
+
+}  // namespace
+
+void RegisterFig8SemhashVoter(report::BenchRegistry& registry) {
+  registry.Register(
+      {"fig8_semhash_voter",
+       "SA-LSH semantic hash functions H21..H25 on Voter (E5)",
+       {"voter"}},
+      RunFig8SemhashVoter);
+}
+
+}  // namespace sablock::bench

@@ -16,87 +16,91 @@
 #include "core/domains.h"
 #include "core/lsh_blocker.h"
 #include "eval/harness.h"
+#include "scenarios.h"
 
+namespace sablock::bench {
 namespace {
 
-using sablock::FormatDouble;
 using sablock::core::LshBlocker;
 using sablock::core::LshParams;
 using sablock::core::SemanticAwareLshBlocker;
 using sablock::core::SemanticMode;
 using sablock::core::SemanticParams;
 
-void RunSeries(const char* title, const sablock::data::Dataset& d,
+void RunSeries(report::BenchContext& ctx, const char* title,
+               const char* dataset_label, const sablock::data::Dataset& d,
                const sablock::core::Domain& domain,
                const std::vector<LshParams>& settings, int full_width) {
   std::printf("%s\n", title);
-  sablock::eval::TablePrinter table({"setting", "method", "PC", "PQ", "RR",
-                                     "FM", "pairs", "time(s)"});
+  eval::TablePrinter table({"setting", "method", "PC", "PQ", "RR",
+                            "FM", "pairs", "time(s)"});
   for (const LshParams& p : settings) {
     std::string setting =
         "k=" + std::to_string(p.k) + " l=" + std::to_string(p.l);
-    sablock::eval::TechniqueResult lsh =
-        sablock::eval::RunTechnique(LshBlocker(p), d);
-    table.AddRow({setting, "LSH", FormatDouble(lsh.metrics.pc, 4),
-                  FormatDouble(lsh.metrics.pq, 4),
-                  FormatDouble(lsh.metrics.rr, 4),
-                  FormatDouble(lsh.metrics.fm, 4),
-                  std::to_string(lsh.metrics.distinct_pairs),
-                  FormatDouble(lsh.seconds, 3)});
+    auto add = [&](const char* method, const eval::TechniqueResult& r,
+                   const report::RepeatStats& stats) {
+      table.AddRow({setting, method, FormatDouble(r.metrics.pc, 4),
+                    FormatDouble(r.metrics.pq, 4),
+                    FormatDouble(r.metrics.rr, 4),
+                    FormatDouble(r.metrics.fm, 4),
+                    std::to_string(r.metrics.distinct_pairs),
+                    FormatDouble(r.seconds, 3)});
+      report::RunResult run = TechniqueRun(setting + " " + method, "",
+                                           dataset_label, d, r, stats);
+      run.AddParam("k", std::to_string(p.k));
+      run.AddParam("l", std::to_string(p.l));
+      run.AddParam("method", method);
+      ctx.Record(std::move(run));
+    };
+
+    report::RepeatStats lsh_stats;
+    add("LSH", RunTimed(ctx, LshBlocker(p), d, &lsh_stats), lsh_stats);
 
     SemanticParams sp;
     sp.w = full_width;
     sp.mode = SemanticMode::kOr;
     sp.seed = 11;
-    sablock::eval::TechniqueResult sa = sablock::eval::RunTechnique(
-        SemanticAwareLshBlocker(p, sp, domain.semantics), d);
-    table.AddRow({setting, "SA-LSH", FormatDouble(sa.metrics.pc, 4),
-                  FormatDouble(sa.metrics.pq, 4),
-                  FormatDouble(sa.metrics.rr, 4),
-                  FormatDouble(sa.metrics.fm, 4),
-                  std::to_string(sa.metrics.distinct_pairs),
-                  FormatDouble(sa.seconds, 3)});
+    report::RepeatStats sa_stats;
+    add("SA-LSH",
+        RunTimed(ctx, SemanticAwareLshBlocker(p, sp, domain.semantics), d,
+                 &sa_stats),
+        sa_stats);
   }
   table.Print();
   std::printf("\n");
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  size_t cora_records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
-  size_t voter_records =
-      sablock::bench::SizeFlag(argc, argv, "voter", 30000);
+int RunFig9LshVsSalsh(report::BenchContext& ctx) {
+  size_t cora_records = ctx.SizeOr("cora", 1879, 400);
+  size_t voter_records = ctx.SizeOr("voter", 30000, 2000);
 
   std::printf("Fig. 9 reproduction (E6): LSH vs SA-LSH\n\n");
 
   {
-    sablock::data::Dataset d =
-        sablock::bench::MakePaperCora(cora_records);
+    sablock::data::Dataset d = MakePaperCora(cora_records);
     sablock::core::Domain domain =
         sablock::core::MakeBibliographicDomain();
     std::vector<LshParams> settings;
     for (int k = 1; k <= 6; ++k) {
-      LshParams p = sablock::bench::CoraLshParams();
+      LshParams p = CoraLshParams();
       p.k = k;
       p.l = sablock::core::MinTablesFor(0.3, k, 0.4);
       settings.push_back(p);
     }
-    RunSeries("(a)-(c) Cora-like data set", d, domain, settings,
-              /*full_width=*/5);
+    RunSeries(ctx, "(a)-(c) Cora-like data set", "cora-like", d, domain,
+              settings, /*full_width=*/5);
   }
   {
-    sablock::data::Dataset d =
-        sablock::bench::MakePaperVoter(voter_records);
+    sablock::data::Dataset d = MakePaperVoter(voter_records);
     sablock::core::Domain domain = sablock::core::MakeVoterDomain();
     std::vector<LshParams> settings;
     for (int k = 4; k <= 9; ++k) {
-      LshParams p = sablock::bench::VoterLshParams();
+      LshParams p = VoterLshParams();
       p.k = k;
       settings.push_back(p);
     }
-    RunSeries("(d)-(f) Voter-like data set (l=15)", d, domain, settings,
-              /*full_width=*/12);
+    RunSeries(ctx, "(d)-(f) Voter-like data set (l=15)", "voter-like", d,
+              domain, settings, /*full_width=*/12);
   }
 
   std::printf(
@@ -105,3 +109,15 @@ int main(int argc, char** argv) {
       "beats it on PQ everywhere, and its RR is at least as high.\n");
   return 0;
 }
+
+}  // namespace
+
+void RegisterFig9LshVsSalsh(report::BenchRegistry& registry) {
+  registry.Register(
+      {"fig9_lsh_vs_salsh",
+       "LSH vs SA-LSH across textual operating points (E6)",
+       {"cora", "voter"}},
+      RunFig9LshVsSalsh);
+}
+
+}  // namespace sablock::bench

@@ -15,9 +15,12 @@
 #include "core/lsh_blocker.h"
 #include "core/lsh_variants.h"
 #include "eval/harness.h"
+#include "scenarios.h"
 
-int main(int argc, char** argv) {
-  using sablock::FormatDouble;
+namespace sablock::bench {
+namespace {
+
+int RunLshVariants(report::BenchContext& ctx) {
   using sablock::core::LshBlocker;
   using sablock::core::LshForestBlocker;
   using sablock::core::LshParams;
@@ -26,48 +29,50 @@ int main(int argc, char** argv) {
   using sablock::core::SemanticMode;
   using sablock::core::SemanticParams;
 
-  size_t records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(records);
+  size_t records = ctx.SizeOr("cora", 1879, 400);
+  sablock::data::Dataset d = MakePaperCora(records);
   sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
 
   std::printf("LSH-variant comparison (E13) on the Cora-like data set "
               "(%zu records)\n\n", d.size());
 
-  LshParams full = sablock::bench::CoraLshParams();  // k=4, l=63
+  LshParams full = CoraLshParams();  // k=4, l=63
   LshParams half = full;
   half.l = full.l / 2;
 
-  sablock::eval::TablePrinter table(
+  eval::TablePrinter table(
       {"technique", "PC", "PQ", "RR", "FM", "pairs", "time(s)"});
-  auto row = [&table](const sablock::eval::TechniqueResult& r) {
+  auto row = [&](std::string label, const sablock::core::BlockingTechnique& t) {
+    report::RepeatStats stats;
+    eval::TechniqueResult r = RunTimed(ctx, t, d, &stats);
     table.AddRow({r.name, FormatDouble(r.metrics.pc, 4),
                   FormatDouble(r.metrics.pq, 4),
                   FormatDouble(r.metrics.rr, 4),
                   FormatDouble(r.metrics.fm, 4),
                   std::to_string(r.metrics.distinct_pairs),
                   FormatDouble(r.seconds, 3)});
+    ctx.Record(TechniqueRun(std::move(label), "", "cora-like", d, r, stats));
   };
 
-  row(sablock::eval::RunTechnique(LshBlocker(full), d));
-  row(sablock::eval::RunTechnique(LshBlocker(half), d));
+  row("LSH full", LshBlocker(full));
+  row("LSH half", LshBlocker(half));
   for (int probes : {1, 2, 4}) {
-    row(sablock::eval::RunTechnique(MultiProbeLshBlocker(half, probes), d));
+    row("MP-LSH probes=" + std::to_string(probes),
+        MultiProbeLshBlocker(half, probes));
   }
   for (size_t max_block : {10u, 25u, 50u}) {
-    row(sablock::eval::RunTechnique(
-        LshForestBlocker(full, /*max_depth=*/10, max_block), d));
+    row("forest max-block=" + std::to_string(max_block),
+        LshForestBlocker(full, /*max_depth=*/10, max_block));
   }
   for (int iterations : {1, 3}) {
-    row(sablock::eval::RunTechnique(
+    row("harra iters=" + std::to_string(iterations),
         sablock::core::IterativeLshBlocker(full, /*merge_threshold=*/0.4,
-                                           iterations),
-        d));
+                                           iterations));
   }
   SemanticParams sp;
   sp.w = 5;
   sp.mode = SemanticMode::kOr;
-  row(sablock::eval::RunTechnique(
-      SemanticAwareLshBlocker(full, sp, domain.semantics), d));
+  row("SA-LSH", SemanticAwareLshBlocker(full, sp, domain.semantics));
   table.Print();
 
   std::printf(
@@ -77,3 +82,15 @@ int main(int argc, char** argv) {
       "budget; SA-LSH adds the semantic dimension none of them have.\n");
   return 0;
 }
+
+}  // namespace
+
+void RegisterLshVariants(report::BenchRegistry& registry) {
+  registry.Register(
+      {"lsh_variants",
+       "multi-probe / forest / HARRA LSH variants vs SA-LSH (E13)",
+       {"cora"}},
+      RunLshVariants);
+}
+
+}  // namespace sablock::bench

@@ -1,23 +1,41 @@
-// Experiment E11 — google-benchmark micro-benchmarks of the substrate hot
-// paths: string comparators, q-gram shingling, minhash signatures, semhash
-// encoding, concept similarity, pair-set inserts, and end-to-end block
-// construction per record.
+// Experiment E11 — micro-benchmarks of the substrate hot paths: string
+// comparators, q-gram shingling, minhash signatures, semhash encoding,
+// concept similarity, pair-set inserts, end-to-end block construction
+// per record, and the FeatureStore cached-vs-uncached reuse win.
+//
+// Self-contained timing harness (no Google Benchmark dependency): each
+// case auto-scales its iteration count until a measurement pass is long
+// enough to trust, and the runner's --repeat takes the best pass. The
+// per-op seconds land in the suite JSON's `time` stats, so
+// tools/bench_compare.py treats them like every other timing (threshold
+// compare, never exact).
 
-#include <benchmark/benchmark.h>
-
+#include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/pair_set.h"
+#include "common/string_util.h"
+#include "common/timer.h"
 #include "core/domains.h"
 #include "core/lsh_blocker.h"
 #include "core/minhash.h"
 #include "core/semhash.h"
+#include "eval/harness.h"
+#include "scenarios.h"
 #include "text/qgram.h"
 #include "text/similarity.h"
 
+namespace sablock::bench {
 namespace {
+
+/// Keeps the compiler from eliding a benchmarked computation.
+template <typename T>
+inline void DoNotOptimize(T&& value) {
+  asm volatile("" : : "g"(value) : "memory");
+}
 
 const char* kNameA = "jonathan mitchell";
 const char* kNameB = "jonathon mitchel";
@@ -26,225 +44,191 @@ const char* kTitleA =
 const char* kTitleB =
     "a cascade corelation learning architecture of neural network";
 
-void BM_EditDistance(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sablock::text::EditDistance(kTitleA, kTitleB));
+/// One measurement pass: doubles the iteration count until the pass
+/// takes at least `min_seconds`, then reports seconds per operation.
+double MeasureSecondsPerOp(const std::function<void()>& op,
+                           double min_seconds) {
+  uint64_t iters = 1;
+  for (;;) {
+    WallTimer timer;
+    for (uint64_t i = 0; i < iters; ++i) op();
+    double elapsed = timer.Seconds();
+    if (elapsed >= min_seconds) {
+      return elapsed / static_cast<double>(iters);
+    }
+    iters *= 2;
   }
 }
-BENCHMARK(BM_EditDistance);
 
-void BM_JaroWinkler(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sablock::text::JaroWinklerSimilarity(kNameA, kNameB));
+class MicroSuite {
+ public:
+  MicroSuite(report::BenchContext& ctx, double min_seconds)
+      : ctx_(ctx),
+        min_seconds_(min_seconds),
+        table_({"case", "ns/op", "ops/s"}) {}
+
+  /// Measures `op` (ctx.repeat passes, best pass reported) and records
+  /// one RunResult whose time stats are seconds *per operation*. The
+  /// `time_unit=per_op` param tells bench_compare.py to apply its
+  /// relative regression threshold without the absolute noise floor
+  /// (these stats come from auto-scaled >=min_seconds passes, so a
+  /// nanosecond-scale min_s is still a trustworthy measurement).
+  void Case(const std::string& name, const std::function<void()>& op) {
+    report::RepeatStats stats = ctx_.TimeRepeats(
+        [&](int) { return MeasureSecondsPerOp(op, min_seconds_); });
+    table_.AddRow({name, FormatDouble(stats.min_s * 1e9, 1),
+                   FormatDouble(1.0 / stats.min_s, 0)});
+    report::RunResult run;
+    run.name = name;
+    run.AddParam("time_unit", "per_op");
+    run.time = stats;
+    ctx_.Record(std::move(run));
   }
-}
-BENCHMARK(BM_JaroWinkler);
 
-void BM_BigramSimilarity(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sablock::text::BigramSimilarity(kNameA, kNameB));
+  void Print() { table_.Print(); }
+
+ private:
+  report::BenchContext& ctx_;
+  double min_seconds_;
+  eval::TablePrinter table_;
+};
+
+int RunMicro(report::BenchContext& ctx) {
+  const double min_seconds = ctx.quick ? 0.02 : 0.2;
+  const size_t cora_records = ctx.SizeOr("cora", 500, 300);
+  const size_t voter_records = ctx.SizeOr("voter", 5000, 1000);
+
+  std::printf("Micro-benchmarks (E11): substrate hot paths\n"
+              "(>= %.0f ms per measurement pass, best of %d passes)\n\n",
+              min_seconds * 1e3, ctx.repeat);
+
+  MicroSuite suite(ctx, min_seconds);
+
+  // --- string comparators & shingling ---------------------------------
+  suite.Case("edit_distance", [] {
+    DoNotOptimize(text::EditDistance(kTitleA, kTitleB));
+  });
+  suite.Case("jaro_winkler", [] {
+    DoNotOptimize(text::JaroWinklerSimilarity(kNameA, kNameB));
+  });
+  suite.Case("bigram_similarity", [] {
+    DoNotOptimize(text::BigramSimilarity(kNameA, kNameB));
+  });
+  suite.Case("qgram_hashes_q3", [] {
+    DoNotOptimize(text::QGramHashes(kTitleA, 3));
+  });
+
+  // --- minhash ----------------------------------------------------------
+  const std::vector<uint64_t> shingles = text::QGramHashes(kTitleA, 3);
+  for (int num_hashes : {135, 252}) {
+    core::MinHasher hasher(num_hashes, 7);
+    suite.Case("minhash_signature_h" + std::to_string(num_hashes),
+               [&hasher, &shingles] {
+                 DoNotOptimize(hasher.Signature(shingles));
+               });
   }
-}
-BENCHMARK(BM_BigramSimilarity);
 
-void BM_QGramHashes(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(sablock::text::QGramHashes(kTitleA, 3));
-  }
-}
-BENCHMARK(BM_QGramHashes);
+  // --- semantic machinery ----------------------------------------------
+  core::Taxonomy taxonomy = core::MakeBibliographicTaxonomy();
+  const core::ConceptId c1 = taxonomy.Require("C1");
+  const core::ConceptId c2 = taxonomy.Require("C2");
+  suite.Case("concept_similarity", [&] {
+    DoNotOptimize(taxonomy.ConceptSimilarity(c1, c2));
+  });
+  core::SemhashEncoder encoder =
+      core::SemhashEncoder::BuildFromAllLeaves(taxonomy);
+  const std::vector<core::ConceptId> zeta = {taxonomy.Require("C3"),
+                                             taxonomy.Require("C6")};
+  suite.Case("semhash_encode", [&] {
+    DoNotOptimize(encoder.Encode(taxonomy, zeta));
+  });
 
-void BM_MinhashSignature(benchmark::State& state) {
-  int num_hashes = static_cast<int>(state.range(0));
-  sablock::core::MinHasher hasher(num_hashes, 7);
-  std::vector<uint64_t> shingles = sablock::text::QGramHashes(kTitleA, 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hasher.Signature(shingles));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(shingles.size()) *
-                          num_hashes);
-}
-BENCHMARK(BM_MinhashSignature)->Arg(135)->Arg(252);
-
-void BM_ConceptSimilarity(benchmark::State& state) {
-  sablock::core::Taxonomy t =
-      sablock::core::MakeBibliographicTaxonomy();
-  sablock::core::ConceptId c1 = t.Require("C1");
-  sablock::core::ConceptId c2 = t.Require("C2");
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(t.ConceptSimilarity(c1, c2));
-  }
-}
-BENCHMARK(BM_ConceptSimilarity);
-
-void BM_SemhashEncode(benchmark::State& state) {
-  sablock::core::Taxonomy t =
-      sablock::core::MakeBibliographicTaxonomy();
-  sablock::core::SemhashEncoder enc =
-      sablock::core::SemhashEncoder::BuildFromAllLeaves(t);
-  std::vector<sablock::core::ConceptId> zeta = {t.Require("C3"),
-                                                t.Require("C6")};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(enc.Encode(t, zeta));
-  }
-}
-BENCHMARK(BM_SemhashEncode);
-
-void BM_PairSetInsert(benchmark::State& state) {
-  for (auto _ : state) {
-    sablock::PairSet set(1 << 16);
+  // --- pair-set inserts (one op = 10k inserts) --------------------------
+  suite.Case("pair_set_insert_10k", [] {
+    PairSet set(1 << 16);
     for (uint32_t i = 0; i < 10000; ++i) {
       set.Insert(i, i + 1 + (i % 7));
     }
-    benchmark::DoNotOptimize(set.size());
+    DoNotOptimize(set.size());
+  });
+
+  // --- end-to-end block construction (one op = full cold build) ---------
+  {
+    data::Dataset d = MakePaperCora(cora_records);
+    core::LshBlocker lsh(CoraLshParams());
+    suite.Case("lsh_block_cora" + std::to_string(cora_records), [&] {
+      data::Dataset cold = d.ColdCopy();
+      DoNotOptimize(RunStreaming(lsh, cold).NumBlocks());
+    });
+    core::Domain domain = core::MakeBibliographicDomain();
+    core::SemanticParams sp;
+    sp.w = 5;
+    sp.mode = core::SemanticMode::kOr;
+    core::SemanticAwareLshBlocker sa_lsh(CoraLshParams(), sp,
+                                         domain.semantics);
+    suite.Case("salsh_block_cora" + std::to_string(cora_records), [&] {
+      data::Dataset cold = d.ColdCopy();
+      DoNotOptimize(RunStreaming(sa_lsh, cold).NumBlocks());
+    });
   }
-  state.SetItemsProcessed(state.iterations() * 10000);
-}
-BENCHMARK(BM_PairSetInsert);
 
-void BM_LshBlockCora(benchmark::State& state) {
-  sablock::data::Dataset d =
-      sablock::bench::MakePaperCora(static_cast<size_t>(state.range(0)));
-  sablock::core::LshBlocker blocker(sablock::bench::CoraLshParams());
-  for (auto _ : state) {
-    // ColdCopy detaches the feature cache so every iteration measures the
-    // full end-to-end build (shingling + signatures + bucketing), like the
-    // pre-FeatureStore implementation did.
-    sablock::data::Dataset cold = d.ColdCopy();
-    benchmark::DoNotOptimize(
-        sablock::bench::RunStreaming(blocker, cold).NumBlocks());
+  // --- FeatureStore: cached vs uncached columns --------------------------
+  // "uncached" detaches the cache with ColdCopy each op, so it pays the
+  // full extraction; "cached" hits the warm column. The headline pair is
+  // second_technique_recompute/reuse: a second technique sharing the
+  // first one's attribute selection.
+  {
+    const std::vector<std::string> attrs = {"authors", "title"};
+    data::Dataset d = MakePaperCora(cora_records);
+    suite.Case("feature_shingling_uncached", [&] {
+      data::Dataset cold = d.ColdCopy();
+      DoNotOptimize(cold.features().ShinglesFor(attrs, 4).Shingles(0).size());
+    });
+    d.features().ShinglesFor(attrs, 4);  // warm
+    suite.Case("feature_shingling_cached", [&] {
+      DoNotOptimize(d.features().ShinglesFor(attrs, 4).Shingles(0).size());
+    });
+
+    core::LshParams p = CoraLshParams();
+    suite.Case("feature_signatures_uncached", [&] {
+      data::Dataset cold = d.ColdCopy();
+      DoNotOptimize(core::MinhashSignatures(cold, p).Signature(0).size());
+    });
+    core::MinhashSignatures(d, p);  // warm
+    suite.Case("feature_signatures_cached", [&] {
+      DoNotOptimize(core::MinhashSignatures(d, p).Signature(0).size());
+    });
+
+    core::LshBlocker blocker(p);
+    suite.Case("second_technique_recompute", [&] {
+      data::Dataset cold = d.ColdCopy();
+      DoNotOptimize(RunStreaming(blocker, cold).NumBlocks());
+    });
+    RunStreaming(blocker, d);  // first technique warms d
+    suite.Case("second_technique_reuse", [&] {
+      DoNotOptimize(RunStreaming(blocker, d).NumBlocks());
+    });
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(d.size()));
-}
-BENCHMARK(BM_LshBlockCora)->Arg(500)->Arg(1879)->Unit(benchmark::kMillisecond);
 
-void BM_SaLshBlockCora(benchmark::State& state) {
-  sablock::data::Dataset d =
-      sablock::bench::MakePaperCora(static_cast<size_t>(state.range(0)));
-  sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
-  sablock::core::SemanticParams sp;
-  sp.w = 5;
-  sp.mode = sablock::core::SemanticMode::kOr;
-  sablock::core::SemanticAwareLshBlocker blocker(
-      sablock::bench::CoraLshParams(), sp, domain.semantics);
-  for (auto _ : state) {
-    sablock::data::Dataset cold = d.ColdCopy();
-    benchmark::DoNotOptimize(
-        sablock::bench::RunStreaming(blocker, cold).NumBlocks());
+  // --- record interpretation ---------------------------------------------
+  {
+    data::Dataset d = MakePaperVoter(voter_records);
+    core::Domain domain = core::MakeVoterDomain();
+    suite.Case("voter_interpretation_" + std::to_string(voter_records), [&] {
+      DoNotOptimize(domain.semantics->InterpretAll(d).size());
+    });
   }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(d.size()));
-}
-BENCHMARK(BM_SaLshBlockCora)
-    ->Arg(500)
-    ->Arg(1879)
-    ->Unit(benchmark::kMillisecond);
 
-// --- E11b: shared feature-extraction layer, cached vs. uncached ---------
-// The FeatureStore computes each (attributes, q[, hashes, seed]) column
-// once per dataset; these benches track the reuse win in the BENCH json
-// (run with --benchmark_format=json). "Uncached" detaches the cache with
-// ColdCopy each iteration, so it pays the full extraction; "Cached" hits
-// the warm column.
-
-const std::vector<std::string>& CoraAttrs() {
-  static const std::vector<std::string> attrs = {"authors", "title"};
-  return attrs;
+  suite.Print();
+  return 0;
 }
-
-void BM_FeatureShinglingUncached(benchmark::State& state) {
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(500);
-  for (auto _ : state) {
-    sablock::data::Dataset cold = d.ColdCopy();
-    benchmark::DoNotOptimize(
-        cold.features().ShinglesFor(CoraAttrs(), 4).Shingles(0).size());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(d.size()));
-}
-BENCHMARK(BM_FeatureShinglingUncached)->Unit(benchmark::kMillisecond);
-
-void BM_FeatureShinglingCached(benchmark::State& state) {
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(500);
-  d.features().ShinglesFor(CoraAttrs(), 4);  // warm
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        d.features().ShinglesFor(CoraAttrs(), 4).Shingles(0).size());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(d.size()));
-}
-BENCHMARK(BM_FeatureShinglingCached)->Unit(benchmark::kMillisecond);
-
-void BM_FeatureSignaturesUncached(benchmark::State& state) {
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(500);
-  sablock::core::LshParams p = sablock::bench::CoraLshParams();
-  for (auto _ : state) {
-    sablock::data::Dataset cold = d.ColdCopy();
-    benchmark::DoNotOptimize(
-        sablock::core::MinhashSignatures(cold, p).Signature(0).size());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(d.size()));
-}
-BENCHMARK(BM_FeatureSignaturesUncached)->Unit(benchmark::kMillisecond);
-
-void BM_FeatureSignaturesCached(benchmark::State& state) {
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(500);
-  sablock::core::LshParams p = sablock::bench::CoraLshParams();
-  sablock::core::MinhashSignatures(d, p);  // warm
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sablock::core::MinhashSignatures(d, p).Signature(0).size());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(d.size()));
-}
-BENCHMARK(BM_FeatureSignaturesCached)->Unit(benchmark::kMillisecond);
-
-// The headline number: a *second* technique sharing the first one's
-// attribute selection. "Recompute" models the pre-refactor library
-// (every technique re-derives features); "Reuse" is the shipped
-// behaviour (the second technique reads the warm store).
-void BM_SecondTechniqueRecompute(benchmark::State& state) {
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(500);
-  sablock::core::LshBlocker blocker(sablock::bench::CoraLshParams());
-  for (auto _ : state) {
-    sablock::data::Dataset cold = d.ColdCopy();
-    benchmark::DoNotOptimize(
-        sablock::bench::RunStreaming(blocker, cold).NumBlocks());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(d.size()));
-}
-BENCHMARK(BM_SecondTechniqueRecompute)->Unit(benchmark::kMillisecond);
-
-void BM_SecondTechniqueReuse(benchmark::State& state) {
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(500);
-  sablock::core::LshBlocker blocker(sablock::bench::CoraLshParams());
-  sablock::bench::RunStreaming(blocker, d);  // first technique warms d
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        sablock::bench::RunStreaming(blocker, d).NumBlocks());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(d.size()));
-}
-BENCHMARK(BM_SecondTechniqueReuse)->Unit(benchmark::kMillisecond);
-
-void BM_VoterInterpretation(benchmark::State& state) {
-  sablock::data::Dataset d = sablock::bench::MakePaperVoter(5000);
-  sablock::core::Domain domain = sablock::core::MakeVoterDomain();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(domain.semantics->InterpretAll(d).size());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(d.size()));
-}
-BENCHMARK(BM_VoterInterpretation)->Unit(benchmark::kMillisecond);
 
 }  // namespace
+
+void RegisterMicro(report::BenchRegistry& registry) {
+  registry.Register(
+      {"micro", "substrate hot-path micro-benchmarks (E11)", {"cora", "voter"}},
+      RunMicro);
+}
+
+}  // namespace sablock::bench

@@ -9,12 +9,16 @@
 #include "bench_util.h"
 #include "core/domains.h"
 #include "eval/harness.h"
+#include "scenarios.h"
 
-int main(int argc, char** argv) {
+namespace sablock::bench {
+namespace {
+
+int RunTable1Patterns(report::BenchContext& ctx) {
   using sablock::core::ConceptId;
 
-  size_t records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(records);
+  size_t records = ctx.SizeOr("cora", 1879, 400);
+  sablock::data::Dataset d = MakePaperCora(records);
   sablock::core::Domain domain = sablock::core::MakeBibliographicDomain();
   const sablock::core::Taxonomy& t = domain.taxonomy();
 
@@ -46,8 +50,12 @@ int main(int argc, char** argv) {
     }
   }
 
-  sablock::eval::TablePrinter table(
+  eval::TablePrinter table(
       {"pattern (journal,booktitle,institution)", "concepts", "records"});
+  report::RunResult run;
+  run.name = "missing-value patterns";
+  run.dataset = "cora-like";
+  run.dataset_records = d.size();
   // Print in Table 1's order: all-present first.
   for (int p = 7; p >= 0; --p) {
     table.AddRow({kPatternDesc[p],
@@ -55,8 +63,13 @@ int main(int argc, char** argv) {
                       ? "(no record)"
                       : concepts[static_cast<size_t>(p)],
                   std::to_string(counts[static_cast<size_t>(p)])});
+    run.AddParam(std::string("concepts_p") + std::to_string(p),
+                 concepts[static_cast<size_t>(p)]);
+    run.AddValue("records_p" + std::to_string(p),
+                 static_cast<double>(counts[static_cast<size_t>(p)]));
   }
   table.Print();
+  ctx.Record(std::move(run));
 
   std::printf(
       "\nShape check (paper): the pattern set is complete — every record\n"
@@ -64,3 +77,15 @@ int main(int argc, char** argv) {
       "map to the general Publication concept C1.\n");
   return 0;
 }
+
+}  // namespace
+
+void RegisterTable1Patterns(report::BenchRegistry& registry) {
+  registry.Register(
+      {"table1_patterns",
+       "missing-value patterns and concept interpretation (E3)",
+       {"cora"}},
+      RunTable1Patterns);
+}
+
+}  // namespace sablock::bench

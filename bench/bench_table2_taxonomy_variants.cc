@@ -15,10 +15,11 @@
 #include "core/domains.h"
 #include "core/lsh_blocker.h"
 #include "eval/harness.h"
+#include "scenarios.h"
 
+namespace sablock::bench {
 namespace {
 
-using sablock::FormatDouble;
 using sablock::core::BibVariant;
 using sablock::core::LshBlocker;
 using sablock::core::LshParams;
@@ -30,26 +31,31 @@ struct Deltas {
   std::vector<double> pc, pq, rr, fm;
 };
 
-std::string MeanStd(const std::vector<double>& v) {
+double Mean(const std::vector<double>& v) {
   double mean = 0.0;
   for (double x : v) mean += x;
-  mean /= static_cast<double>(v.size());
-  double var = 0.0;
-  for (double x : v) var += (x - mean) * (x - mean);
-  var /= static_cast<double>(v.size());
-  std::string sign = mean >= 0 ? "+" : "";
-  return sign + FormatDouble(mean, 2) + "±" +
-         FormatDouble(std::sqrt(var), 2);
+  return mean / static_cast<double>(v.size());
 }
 
-}  // namespace
+double StdDev(const std::vector<double>& v) {
+  double mean = Mean(v);
+  double var = 0.0;
+  for (double x : v) var += (x - mean) * (x - mean);
+  return std::sqrt(var / static_cast<double>(v.size()));
+}
 
-int main(int argc, char** argv) {
-  size_t records = sablock::bench::SizeFlag(argc, argv, "cora", 1879);
-  size_t runs = sablock::bench::SizeFlag(argc, argv, "runs", 5);
+std::string MeanStd(const std::vector<double>& v) {
+  double mean = Mean(v);
+  std::string sign = mean >= 0 ? "+" : "";
+  return sign + FormatDouble(mean, 2) + "±" + FormatDouble(StdDev(v), 2);
+}
 
-  sablock::data::Dataset d = sablock::bench::MakePaperCora(records);
-  LshParams base = sablock::bench::CoraLshParams();
+int RunTable2TaxonomyVariants(report::BenchContext& ctx) {
+  size_t records = ctx.SizeOr("cora", 1879, 400);
+  size_t runs = ctx.SizeOr("runs", 5, 2);
+
+  sablock::data::Dataset d = MakePaperCora(records);
+  LshParams base = CoraLshParams();
 
   std::printf("Table 2 reproduction (E7): taxonomy variants on the\n"
               "Cora-like data set (%zu records), %zu runs, deltas in\n"
@@ -63,8 +69,8 @@ int main(int argc, char** argv) {
       {"t_(bib,3)", BibVariant::kNoJournal},
   };
 
-  sablock::eval::TablePrinter table({"metric", "t_bib", "t_(bib,1)",
-                                     "t_(bib,2)", "t_(bib,3)"});
+  eval::TablePrinter table({"metric", "t_bib", "t_(bib,1)",
+                            "t_(bib,2)", "t_(bib,3)"});
   std::vector<Deltas> deltas(variants.size());
 
   for (size_t vi = 0; vi < variants.size(); ++vi) {
@@ -88,6 +94,21 @@ int main(int argc, char** argv) {
       deltas[vi].rr.push_back(100.0 * (sa.rr - lsh.rr));
       deltas[vi].fm.push_back(100.0 * (sa.fm - lsh.fm));
     }
+
+    report::RunResult result;
+    result.name = variants[vi].first;
+    result.dataset = "cora-like";
+    result.dataset_records = d.size();
+    result.AddParam("runs", std::to_string(runs));
+    result.AddValue("pc_delta_mean", Mean(deltas[vi].pc));
+    result.AddValue("pc_delta_std", StdDev(deltas[vi].pc));
+    result.AddValue("pq_delta_mean", Mean(deltas[vi].pq));
+    result.AddValue("pq_delta_std", StdDev(deltas[vi].pq));
+    result.AddValue("rr_delta_mean", Mean(deltas[vi].rr));
+    result.AddValue("rr_delta_std", StdDev(deltas[vi].rr));
+    result.AddValue("fm_delta_mean", Mean(deltas[vi].fm));
+    result.AddValue("fm_delta_std", StdDev(deltas[vi].fm));
+    ctx.Record(std::move(result));
   }
 
   table.AddRow({"PC", MeanStd(deltas[0].pc), MeanStd(deltas[1].pc),
@@ -107,3 +128,15 @@ int main(int argc, char** argv) {
       "become more broadly related) but also gain less PQ.\n");
   return 0;
 }
+
+}  // namespace
+
+void RegisterTable2TaxonomyVariants(report::BenchRegistry& registry) {
+  registry.Register(
+      {"table2_taxonomy_variants",
+       "SA-LSH minus LSH deltas under taxonomy-tree variants (E7)",
+       {"cora", "runs"}},
+      RunTable2TaxonomyVariants);
+}
+
+}  // namespace sablock::bench

@@ -16,26 +16,15 @@
 #include "api/registry.h"
 #include "common/check.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/domains.h"
 #include "core/lsh_blocker.h"
 #include "data/cora_generator.h"
 #include "data/voter_generator.h"
+#include "eval/harness.h"
+#include "report/bench_registry.h"
 
 namespace sablock::bench {
-
-/// Parses "--name=value" style size overrides; returns `fallback` when the
-/// flag is absent or malformed.
-inline size_t SizeFlag(int argc, char** argv, const char* name,
-                       size_t fallback) {
-  std::string prefix = std::string("--") + name + "=";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
-      long v = std::atol(argv[i] + prefix.size());
-      if (v > 0) return static_cast<size_t>(v);
-    }
-  }
-  return fallback;
-}
 
 /// The Cora-scale bibliographic dataset (1,879 records / 190 entities, as
 /// in the paper) from the generator substitute.
@@ -106,6 +95,51 @@ inline std::unique_ptr<core::BlockingTechnique> FromSpec(
   Status status = api::BlockerRegistry::Global().Create(spec, &technique);
   SABLOCK_CHECK_MSG(status.ok(), status.message().c_str());
   return technique;
+}
+
+/// eval::RunTechnique with the suite's repeat semantics: the first
+/// repetition evaluates quality metrics, the remaining ctx.repeat-1 are
+/// timing-only cold builds (metrics are deterministic across repeats, so
+/// re-evaluating would only slow the suite down). The returned result's
+/// `seconds` is the min over repetitions; `stats` (optional) receives
+/// the full min/mean/p50 summary.
+inline eval::TechniqueResult RunTimed(const report::BenchContext& ctx,
+                                      const core::BlockingTechnique& t,
+                                      const data::Dataset& d,
+                                      report::RepeatStats* stats = nullptr) {
+  eval::TechniqueResult result = eval::RunTechnique(t, d);
+  std::vector<double> seconds = {result.seconds};
+  for (int rep = 1; rep < ctx.repeat; ++rep) {
+    data::Dataset cold = d.ColdCopy();
+    WallTimer timer;
+    core::BlockCollection blocks;
+    t.Run(cold, blocks);
+    seconds.push_back(timer.Seconds());
+  }
+  report::RepeatStats summary =
+      report::SummarizeSeconds(std::move(seconds));
+  result.seconds = summary.min_s;
+  if (stats != nullptr) *stats = summary;
+  return result;
+}
+
+/// Fills the common RunResult fields of one measured technique run.
+/// `name` must be unique within (scenario, dataset, record count) — it
+/// is the key tools/bench_compare.py matches runs across files by.
+inline report::RunResult TechniqueRun(std::string name, std::string spec,
+                                      std::string dataset_label,
+                                      const data::Dataset& d,
+                                      const eval::TechniqueResult& r,
+                                      const report::RepeatStats& stats) {
+  report::RunResult run;
+  run.name = std::move(name);
+  run.spec = std::move(spec);
+  run.dataset = std::move(dataset_label);
+  run.dataset_records = d.size();
+  run.time = stats;
+  run.has_metrics = true;
+  run.metrics = r.metrics;
+  return run;
 }
 
 /// Builds the 12-baseline parameter grids of Section 6.3.4 over the

@@ -1,0 +1,38 @@
+#include "report/bench_registry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace sablock::report {
+
+BenchRegistry& BenchRegistry::Global() {
+  static BenchRegistry* registry = new BenchRegistry();
+  return *registry;
+}
+
+void BenchRegistry::Register(ScenarioInfo info, Fn fn) {
+  SABLOCK_CHECK_MSG(!info.name.empty(), "bench registry: empty name");
+  bool inserted = index_.emplace(info.name, entries_.size()).second;
+  SABLOCK_CHECK_MSG(inserted, info.name.c_str());
+  entries_.emplace_back(std::move(info), std::move(fn));
+}
+
+std::vector<ScenarioInfo> BenchRegistry::List() const {
+  std::vector<ScenarioInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [info, fn] : entries_) infos.push_back(info);
+  std::sort(infos.begin(), infos.end(),
+            [](const ScenarioInfo& a, const ScenarioInfo& b) {
+              return a.name < b.name;
+            });
+  return infos;
+}
+
+const BenchRegistry::Fn* BenchRegistry::Find(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return nullptr;
+  return &entries_[it->second].second;
+}
+
+}  // namespace sablock::report

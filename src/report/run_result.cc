@@ -1,0 +1,302 @@
+#include "report/run_result.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace sablock::report {
+
+RepeatStats SummarizeSeconds(std::vector<double> seconds) {
+  RepeatStats stats;
+  if (seconds.empty()) return stats;
+  std::sort(seconds.begin(), seconds.end());
+  stats.repeats = static_cast<int>(seconds.size());
+  stats.min_s = seconds.front();
+  stats.mean_s = std::accumulate(seconds.begin(), seconds.end(), 0.0) /
+                 static_cast<double>(seconds.size());
+  stats.p50_s = seconds[(seconds.size() - 1) / 2];
+  return stats;
+}
+
+namespace {
+
+Json ToJson(const RepeatStats& stats) {
+  Json j = Json::Object();
+  j.Set("repeats", static_cast<int64_t>(stats.repeats));
+  j.Set("min_s", stats.min_s);
+  j.Set("mean_s", stats.mean_s);
+  j.Set("p50_s", stats.p50_s);
+  return j;
+}
+
+Json ToJson(const StageTiming& stage) {
+  Json j = Json::Object();
+  j.Set("name", stage.name);
+  j.Set("blocks", stage.blocks);
+  j.Set("comparisons", stage.comparisons);
+  j.Set("max_block_size", stage.max_block_size);
+  j.Set("seconds", stage.seconds);
+  return j;
+}
+
+Json ToJson(const eval::Metrics& m) {
+  Json j = Json::Object();
+  j.Set("pc", m.pc);
+  j.Set("pq", m.pq);
+  j.Set("rr", m.rr);
+  j.Set("fm", m.fm);
+  j.Set("pq_star", m.pq_star);
+  j.Set("fm_star", m.fm_star);
+  j.Set("distinct_pairs", m.distinct_pairs);
+  j.Set("true_pairs", m.true_pairs);
+  j.Set("total_comparisons", m.total_comparisons);
+  j.Set("ground_truth_pairs", m.ground_truth_pairs);
+  j.Set("all_pairs", m.all_pairs);
+  j.Set("num_blocks", m.num_blocks);
+  j.Set("max_block_size", m.max_block_size);
+  return j;
+}
+
+// --- FromJson helpers: typed field readers with path-named errors. ------
+
+Status Missing(const std::string& key) {
+  return Status::Error("missing or mistyped key '" + key + "'");
+}
+
+Status ReadString(const Json& obj, const std::string& key, bool required,
+                  std::string* out) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr) {
+    return required ? Missing(key) : Status::Ok();
+  }
+  if (v->type() != Json::Type::kString) return Missing(key);
+  *out = v->string_value();
+  return Status::Ok();
+}
+
+Status ReadUint(const Json& obj, const std::string& key, bool required,
+                uint64_t* out) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr) {
+    return required ? Missing(key) : Status::Ok();
+  }
+  if (!v->is_number() || v->type() == Json::Type::kDouble ||
+      (v->type() == Json::Type::kInt && v->int_value() < 0)) {
+    return Missing(key);
+  }
+  *out = v->uint_value();
+  return Status::Ok();
+}
+
+Status ReadDouble(const Json& obj, const std::string& key, bool required,
+                  double* out) {
+  const Json* v = obj.Find(key);
+  if (v == nullptr) {
+    return required ? Missing(key) : Status::Ok();
+  }
+  if (!v->is_number()) return Missing(key);
+  *out = v->double_value();
+  return Status::Ok();
+}
+
+#define SABLOCK_RETURN_IF_ERROR(expr)        \
+  do {                                       \
+    Status _status = (expr);                 \
+    if (!_status.ok()) return _status;       \
+  } while (0)
+
+Status RepeatStatsFromJson(const Json& json, RepeatStats* out) {
+  if (json.type() != Json::Type::kObject) return Missing("time");
+  uint64_t repeats = 0;
+  SABLOCK_RETURN_IF_ERROR(ReadUint(json, "repeats", true, &repeats));
+  out->repeats = static_cast<int>(repeats);
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "min_s", true, &out->min_s));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "mean_s", true, &out->mean_s));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "p50_s", true, &out->p50_s));
+  return Status::Ok();
+}
+
+Status StageTimingFromJson(const Json& json, StageTiming* out) {
+  if (json.type() != Json::Type::kObject) return Missing("stages[]");
+  SABLOCK_RETURN_IF_ERROR(ReadString(json, "name", true, &out->name));
+  SABLOCK_RETURN_IF_ERROR(ReadUint(json, "blocks", true, &out->blocks));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "comparisons", true, &out->comparisons));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "max_block_size", true, &out->max_block_size));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "seconds", true, &out->seconds));
+  return Status::Ok();
+}
+
+Status MetricsFromJson(const Json& json, eval::Metrics* out) {
+  if (json.type() != Json::Type::kObject) return Missing("metrics");
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "pc", true, &out->pc));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "pq", true, &out->pq));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "rr", true, &out->rr));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "fm", true, &out->fm));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "pq_star", true, &out->pq_star));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "fm_star", true, &out->fm_star));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "distinct_pairs", true, &out->distinct_pairs));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "true_pairs", true, &out->true_pairs));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "total_comparisons", true, &out->total_comparisons));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "ground_truth_pairs", true, &out->ground_truth_pairs));
+  SABLOCK_RETURN_IF_ERROR(ReadUint(json, "all_pairs", true, &out->all_pairs));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "num_blocks", true, &out->num_blocks));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "max_block_size", true, &out->max_block_size));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Json ToJson(const RunResult& run) {
+  Json j = Json::Object();
+  j.Set("scenario", run.scenario);
+  j.Set("name", run.name);
+  if (!run.spec.empty()) j.Set("spec", run.spec);
+  if (!run.dataset.empty()) {
+    j.Set("dataset", run.dataset);
+    j.Set("dataset_records", run.dataset_records);
+  }
+  if (!run.params.empty()) {
+    Json params = Json::Object();
+    for (const auto& [key, value] : run.params) params.Set(key, value);
+    j.Set("params", std::move(params));
+  }
+  if (run.time.repeats > 0) j.Set("time", ToJson(run.time));
+  if (!run.stages.empty()) {
+    Json stages = Json::Array();
+    for (const StageTiming& stage : run.stages) {
+      stages.Append(ToJson(stage));
+    }
+    j.Set("stages", std::move(stages));
+  }
+  if (run.has_metrics) j.Set("metrics", ToJson(run.metrics));
+  if (!run.values.empty()) {
+    Json values = Json::Object();
+    for (const auto& [key, value] : run.values) values.Set(key, value);
+    j.Set("values", std::move(values));
+  }
+  return j;
+}
+
+Json ToJson(const SuiteResult& suite) {
+  Json j = Json::Object();
+  j.Set("tool", suite.tool);
+  j.Set("schema_version", static_cast<int64_t>(suite.schema_version));
+  j.Set("quick", suite.quick);
+  j.Set("repeat", static_cast<int64_t>(suite.repeat));
+  Json scenarios = Json::Array();
+  for (const ScenarioOutcome& outcome : suite.scenarios) {
+    Json o = Json::Object();
+    o.Set("name", outcome.name);
+    o.Set("exit_code", static_cast<int64_t>(outcome.exit_code));
+    o.Set("seconds", outcome.seconds);
+    scenarios.Append(std::move(o));
+  }
+  j.Set("scenarios", std::move(scenarios));
+  Json runs = Json::Array();
+  for (const RunResult& run : suite.runs) runs.Append(ToJson(run));
+  j.Set("runs", std::move(runs));
+  return j;
+}
+
+Status RunResultFromJson(const Json& json, RunResult* out) {
+  *out = RunResult();
+  if (json.type() != Json::Type::kObject) {
+    return Status::Error("run is not an object");
+  }
+  SABLOCK_RETURN_IF_ERROR(
+      ReadString(json, "scenario", true, &out->scenario));
+  SABLOCK_RETURN_IF_ERROR(ReadString(json, "name", true, &out->name));
+  SABLOCK_RETURN_IF_ERROR(ReadString(json, "spec", false, &out->spec));
+  SABLOCK_RETURN_IF_ERROR(ReadString(json, "dataset", false, &out->dataset));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "dataset_records", false, &out->dataset_records));
+  if (const Json* params = json.Find("params")) {
+    if (params->type() != Json::Type::kObject) return Missing("params");
+    for (const auto& [key, value] : params->members()) {
+      if (value.type() != Json::Type::kString) return Missing("params");
+      out->AddParam(key, value.string_value());
+    }
+  }
+  if (const Json* time = json.Find("time")) {
+    SABLOCK_RETURN_IF_ERROR(RepeatStatsFromJson(*time, &out->time));
+  }
+  if (const Json* stages = json.Find("stages")) {
+    if (stages->type() != Json::Type::kArray) return Missing("stages");
+    for (const Json& stage : stages->items()) {
+      StageTiming timing;
+      SABLOCK_RETURN_IF_ERROR(StageTimingFromJson(stage, &timing));
+      out->stages.push_back(std::move(timing));
+    }
+  }
+  if (const Json* metrics = json.Find("metrics")) {
+    SABLOCK_RETURN_IF_ERROR(MetricsFromJson(*metrics, &out->metrics));
+    out->has_metrics = true;
+  }
+  if (const Json* values = json.Find("values")) {
+    if (values->type() != Json::Type::kObject) return Missing("values");
+    for (const auto& [key, value] : values->members()) {
+      if (!value.is_number()) return Missing("values");
+      out->AddValue(key, value.double_value());
+    }
+  }
+  return Status::Ok();
+}
+
+Status SuiteResultFromJson(const Json& json, SuiteResult* out) {
+  *out = SuiteResult();
+  if (json.type() != Json::Type::kObject) {
+    return Status::Error("suite is not an object");
+  }
+  SABLOCK_RETURN_IF_ERROR(ReadString(json, "tool", true, &out->tool));
+  uint64_t version = 0;
+  SABLOCK_RETURN_IF_ERROR(ReadUint(json, "schema_version", true, &version));
+  if (version != static_cast<uint64_t>(kSchemaVersion)) {
+    return Status::Error("unsupported schema_version " +
+                         std::to_string(version));
+  }
+  out->schema_version = static_cast<int>(version);
+  const Json* quick = json.Find("quick");
+  if (quick == nullptr || quick->type() != Json::Type::kBool) {
+    return Missing("quick");
+  }
+  out->quick = quick->bool_value();
+  uint64_t repeat = 0;
+  SABLOCK_RETURN_IF_ERROR(ReadUint(json, "repeat", true, &repeat));
+  out->repeat = static_cast<int>(repeat);
+  if (const Json* scenarios = json.Find("scenarios")) {
+    if (scenarios->type() != Json::Type::kArray) return Missing("scenarios");
+    for (const Json& entry : scenarios->items()) {
+      ScenarioOutcome outcome;
+      SABLOCK_RETURN_IF_ERROR(
+          ReadString(entry, "name", true, &outcome.name));
+      uint64_t exit_code = 0;
+      SABLOCK_RETURN_IF_ERROR(
+          ReadUint(entry, "exit_code", true, &exit_code));
+      outcome.exit_code = static_cast<int>(exit_code);
+      SABLOCK_RETURN_IF_ERROR(
+          ReadDouble(entry, "seconds", true, &outcome.seconds));
+      out->scenarios.push_back(std::move(outcome));
+    }
+  }
+  const Json* runs = json.Find("runs");
+  if (runs == nullptr || runs->type() != Json::Type::kArray) {
+    return Missing("runs");
+  }
+  for (const Json& entry : runs->items()) {
+    RunResult run;
+    SABLOCK_RETURN_IF_ERROR(RunResultFromJson(entry, &run));
+    out->runs.push_back(std::move(run));
+  }
+  return Status::Ok();
+}
+
+#undef SABLOCK_RETURN_IF_ERROR
+
+}  // namespace sablock::report

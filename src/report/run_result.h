@@ -1,0 +1,98 @@
+#ifndef SABLOCK_REPORT_RUN_RESULT_H_
+#define SABLOCK_REPORT_RUN_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/metrics.h"
+#include "report/json.h"
+
+namespace sablock::report {
+
+/// Written to every suite JSON so downstream tooling (tools/
+/// bench_compare.py, CI trend jobs) can reject files it does not
+/// understand. Bump on any backwards-incompatible key change.
+inline constexpr int kSchemaVersion = 1;
+
+/// Wall-time statistics over a run's timing repetitions (seconds). For
+/// micro-benchmarks the same shape carries seconds *per operation*.
+struct RepeatStats {
+  int repeats = 0;
+  double min_s = 0.0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+};
+
+/// Computes RepeatStats from raw per-repetition seconds (empty input
+/// yields a zeroed struct). p50 is the lower median.
+RepeatStats SummarizeSeconds(std::vector<double> seconds);
+
+/// One step of a pipeline run: what the generator or one stage emitted
+/// and the exclusive wall time it spent (eval::StageCounts, serialized).
+struct StageTiming {
+  std::string name;
+  uint64_t blocks = 0;
+  uint64_t comparisons = 0;
+  uint64_t max_block_size = 0;
+  double seconds = 0.0;
+};
+
+/// One measured run within a scenario — typically one (technique or
+/// pipeline, parameter setting, dataset) combination; roughly one row of
+/// the scenario's printed table.
+///
+/// `params` and `values` are ordered key/value lists so the serialized
+/// object keys are stable across runs. `values` carries deterministic
+/// scalars (analytic probabilities, deltas, counts) that the compare
+/// tool checks exactly; anything timing-flavoured belongs in `time`.
+struct RunResult {
+  std::string scenario;  ///< registry scenario name (stamped by Record)
+  std::string name;      ///< run label, unique within (scenario, dataset)
+  std::string spec;      ///< technique/pipeline spec string; "" = n/a
+  std::string dataset;   ///< e.g. "cora-like"; "" for analytic runs
+  uint64_t dataset_records = 0;
+  std::vector<std::pair<std::string, std::string>> params;
+  RepeatStats time;
+  std::vector<StageTiming> stages;
+  bool has_metrics = false;
+  eval::Metrics metrics;
+  std::vector<std::pair<std::string, double>> values;
+
+  void AddParam(std::string key, std::string value) {
+    params.emplace_back(std::move(key), std::move(value));
+  }
+  void AddValue(std::string key, double value) {
+    values.emplace_back(std::move(key), value);
+  }
+};
+
+/// Outcome of one scenario invocation within a suite run.
+struct ScenarioOutcome {
+  std::string name;
+  int exit_code = 0;
+  double seconds = 0.0;  ///< scenario wall time (not a measurement)
+};
+
+/// Everything one `sablock_bench` invocation measured.
+struct SuiteResult {
+  std::string tool = "sablock_bench";
+  int schema_version = kSchemaVersion;
+  bool quick = false;
+  int repeat = 1;
+  std::vector<ScenarioOutcome> scenarios;
+  std::vector<RunResult> runs;
+};
+
+/// JSON (de)serialization. FromJson validates shape and schema_version
+/// and reports the first offending key in the Status message.
+Json ToJson(const RunResult& run);
+Json ToJson(const SuiteResult& suite);
+Status RunResultFromJson(const Json& json, RunResult* out);
+Status SuiteResultFromJson(const Json& json, SuiteResult* out);
+
+}  // namespace sablock::report
+
+#endif  // SABLOCK_REPORT_RUN_RESULT_H_

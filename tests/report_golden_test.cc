@@ -1,0 +1,162 @@
+// Golden test for the benchmark suite's JSON reporting: drives the real
+// sablock_bench entry point (BenchMain) over the table3 scenario in
+// --quick mode and validates that the emitted file is schema-valid JSON
+// with stable keys — the contract tools/bench_compare.py and the CI
+// bench-smoke job rely on.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "report/json.h"
+#include "report/run_result.h"
+#include "scenarios.h"
+
+namespace sablock::report {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// Asserts that `object`'s keys appear in canonical order: every key must
+/// be known, and the known keys that are present must appear in the
+/// canonical sequence (optional keys may be omitted).
+void ExpectKeyOrder(const Json& object,
+                    const std::vector<std::string>& canonical,
+                    const std::string& what) {
+  ASSERT_EQ(object.type(), Json::Type::kObject) << what;
+  size_t cursor = 0;
+  for (const auto& [key, value] : object.members()) {
+    size_t found = canonical.size();
+    for (size_t i = cursor; i < canonical.size(); ++i) {
+      if (canonical[i] == key) {
+        found = i;
+        break;
+      }
+    }
+    ASSERT_NE(found, canonical.size())
+        << what << ": unexpected or out-of-order key '" << key << "'";
+    cursor = found + 1;
+  }
+}
+
+class ReportGoldenTest : public ::testing::Test {
+ protected:
+  static std::string json_path() {
+    return ::testing::TempDir() + "/sablock_bench_table3.json";
+  }
+
+  /// Runs the table3 scenario once per test binary (it is the expensive
+  /// part) and caches the raw file text.
+  static const std::string& SuiteText() {
+    static const std::string* text = [] {
+      std::string path = json_path();
+      std::string json_flag = "--json=" + path;
+      // Tiny sizes keep the golden test snappy; the scenario still
+      // sweeps every baseline family grid.
+      const char* argv[] = {"sablock_bench",   "--quick",
+                            "--filter=table3", "--cora=150",
+                            "--voter=400",     json_flag.c_str()};
+      int rc = sablock::bench::BenchMain(
+          static_cast<int>(std::size(argv)), const_cast<char**>(argv));
+      EXPECT_EQ(rc, 0);
+      return new std::string(ReadFileOrDie(path));
+    }();
+    return *text;
+  }
+};
+
+TEST_F(ReportGoldenTest, EmitsParseableSuiteJson) {
+  Json suite;
+  Status status = Json::Parse(SuiteText(), &suite);
+  ASSERT_TRUE(status.ok()) << status.message();
+
+  SuiteResult result;
+  status = SuiteResultFromJson(suite, &result);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(result.tool, "sablock_bench");
+  EXPECT_EQ(result.schema_version, kSchemaVersion);
+  EXPECT_TRUE(result.quick);
+  ASSERT_EQ(result.scenarios.size(), 1u);
+  EXPECT_EQ(result.scenarios[0].name, "table3_fig11_baselines");
+  EXPECT_EQ(result.scenarios[0].exit_code, 0);
+}
+
+TEST_F(ReportGoldenTest, KeysAreStable) {
+  Json suite;
+  ASSERT_TRUE(Json::Parse(SuiteText(), &suite).ok());
+
+  ExpectKeyOrder(suite,
+                 {"tool", "schema_version", "quick", "repeat", "scenarios",
+                  "runs"},
+                 "suite");
+
+  const Json* runs = suite.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_GT(runs->size(), 0u);
+  const std::vector<std::string> run_keys = {
+      "scenario", "name",   "spec",   "dataset", "dataset_records",
+      "params",   "time",   "stages", "metrics", "values"};
+  const std::vector<std::string> metric_keys = {
+      "pc", "pq", "rr", "fm", "pq_star", "fm_star", "distinct_pairs",
+      "true_pairs", "total_comparisons", "ground_truth_pairs", "all_pairs",
+      "num_blocks", "max_block_size"};
+  for (const Json& run : runs->items()) {
+    ExpectKeyOrder(run, run_keys, "run");
+    const Json* metrics = run.Find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    ExpectKeyOrder(*metrics, metric_keys, "metrics");
+    const Json* time = run.Find("time");
+    ASSERT_NE(time, nullptr);
+    ExpectKeyOrder(*time, {"repeats", "min_s", "mean_s", "p50_s"}, "time");
+  }
+}
+
+TEST_F(ReportGoldenTest, CoversEveryBaselineFamilyOnBothDatasets) {
+  Json suite;
+  ASSERT_TRUE(Json::Parse(SuiteText(), &suite).ok());
+  SuiteResult result;
+  ASSERT_TRUE(SuiteResultFromJson(suite, &result).ok());
+
+  const std::set<std::string> expected = {
+      "TBlo", "SorA", "SorII", "ASor", "QGr",  "CaTh",   "CaNN",
+      "StMT", "StMNN", "SuA",  "SuAS", "RSuA", "LSH",    "SA-LSH"};
+  for (const char* dataset : {"cora-like", "voter-like"}) {
+    std::set<std::string> seen;
+    for (const RunResult& run : result.runs) {
+      EXPECT_EQ(run.scenario, "table3_fig11_baselines");
+      if (run.dataset == dataset) {
+        EXPECT_TRUE(seen.insert(run.name).second)
+            << "duplicate run name " << run.name << " on " << dataset;
+        EXPECT_TRUE(run.has_metrics) << run.name;
+        EXPECT_GT(run.time.repeats, 0) << run.name;
+      }
+    }
+    EXPECT_EQ(seen, expected) << dataset;
+  }
+}
+
+TEST_F(ReportGoldenTest, SerializationIsByteStableThroughRoundTrip) {
+  Json suite;
+  ASSERT_TRUE(Json::Parse(SuiteText(), &suite).ok());
+  SuiteResult result;
+  ASSERT_TRUE(SuiteResultFromJson(suite, &result).ok());
+  // parse → structs → re-serialize reproduces the file byte-for-byte
+  // (modulo the trailing newline WriteJsonFile appends): stable keys,
+  // stable number formatting.
+  std::string expected = SuiteText();
+  if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+  EXPECT_EQ(ToJson(result).Dump(2), expected);
+}
+
+}  // namespace
+}  // namespace sablock::report

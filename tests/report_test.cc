@@ -1,0 +1,281 @@
+// Tests for src/report/: the JSON value/writer/parser and the
+// RunResult/SuiteResult (de)serialization that sablock_bench emits.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "report/json.h"
+#include "report/run_result.h"
+
+namespace sablock::report {
+namespace {
+
+// ----------------------------------------------------------------- JSON
+
+TEST(JsonTest, ScalarDump) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(static_cast<int64_t>(-42)).Dump(), "-42");
+  EXPECT_EQ(Json(static_cast<uint64_t>(18446744073709551615ull)).Dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, DoubleDumpIsRoundTrippableAndMarked) {
+  // Integral doubles keep a ".0" marker so they parse back as doubles.
+  EXPECT_EQ(Json(1.0).Dump(), "1.0");
+  EXPECT_EQ(Json(0.5).Dump(), "0.5");
+  // Shortest-round-trip form preserves the exact bits.
+  double tricky = 0.1 + 0.2;
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(Json(tricky).Dump(), &parsed).ok());
+  EXPECT_EQ(parsed.double_value(), tricky);
+}
+
+TEST(JsonTest, NonFiniteDoublesSerializeAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).Dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).Dump(), "null");
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json j(std::string("a\"b\\c\nd\te\x01" "f"));
+  EXPECT_EQ(j.Dump(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+  // And the escaped form parses back to the original bytes.
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(j.Dump(), &parsed).ok());
+  EXPECT_EQ(parsed.string_value(), "a\"b\\c\nd\te\x01" "f");
+}
+
+TEST(JsonTest, UnicodeEscapesDecodeToUtf8) {
+  Json parsed;
+  ASSERT_TRUE(Json::Parse("\"\\u00e9\\u20ac\"", &parsed).ok());
+  EXPECT_EQ(parsed.string_value(), "\xc3\xa9\xe2\x82\xac");  // é€
+  // Surrogate pair: U+1F600.
+  ASSERT_TRUE(Json::Parse("\"\\ud83d\\ude00\"", &parsed).ok());
+  EXPECT_EQ(parsed.string_value(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json j = Json::Object();
+  j.Set("zebra", 1);
+  j.Set("apple", 2);
+  j.Set("mango", 3);
+  EXPECT_EQ(j.Dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  j.Set("apple", 9);  // overwrite keeps the slot
+  EXPECT_EQ(j.Dump(), "{\"zebra\":1,\"apple\":9,\"mango\":3}");
+}
+
+TEST(JsonTest, NestedRoundTrip) {
+  Json j = Json::Object();
+  j.Set("list", Json::Array().Append(1).Append("two").Append(Json()));
+  j.Set("nested", Json::Object().Set("pi", 3.14159).Set("ok", true));
+  j.Set("empty_array", Json::Array());
+  j.Set("empty_object", Json::Object());
+
+  for (int indent : {0, 2}) {
+    Json parsed;
+    ASSERT_TRUE(Json::Parse(j.Dump(indent), &parsed).ok());
+    EXPECT_EQ(parsed.Dump(), j.Dump()) << "indent=" << indent;
+  }
+}
+
+TEST(JsonTest, ParseNumbersKeepIntegerness) {
+  Json parsed;
+  ASSERT_TRUE(Json::Parse("[-3, 18446744073709551615, 2.5, 1e3]",
+                          &parsed).ok());
+  EXPECT_EQ(parsed.items()[0].type(), Json::Type::kInt);
+  EXPECT_EQ(parsed.items()[0].int_value(), -3);
+  EXPECT_EQ(parsed.items()[1].type(), Json::Type::kUint);
+  EXPECT_EQ(parsed.items()[1].uint_value(), 18446744073709551615ull);
+  EXPECT_EQ(parsed.items()[2].type(), Json::Type::kDouble);
+  EXPECT_EQ(parsed.items()[3].double_value(), 1000.0);
+}
+
+TEST(JsonTest, ParseErrors) {
+  Json out;
+  EXPECT_FALSE(Json::Parse("", &out).ok());
+  EXPECT_FALSE(Json::Parse("{", &out).ok());
+  EXPECT_FALSE(Json::Parse("[1,]", &out).ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1} trailing", &out).ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated", &out).ok());
+  EXPECT_FALSE(Json::Parse("\"bad\\q\"", &out).ok());
+  EXPECT_FALSE(Json::Parse("nul", &out).ok());
+  EXPECT_FALSE(Json::Parse("\"ctrl\x01\"", &out).ok());
+}
+
+TEST(JsonTest, WhitespaceTolerated) {
+  Json out;
+  ASSERT_TRUE(Json::Parse("  {\n \"a\" : [ 1 , 2 ] \t}\r\n", &out).ok());
+  EXPECT_EQ(out.Dump(), "{\"a\":[1,2]}");
+}
+
+// ---------------------------------------------------------- RepeatStats
+
+TEST(RepeatStatsTest, Summarize) {
+  RepeatStats s = SummarizeSeconds({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.repeats, 3);
+  EXPECT_DOUBLE_EQ(s.min_s, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.p50_s, 2.0);
+
+  s = SummarizeSeconds({4.0, 1.0});
+  EXPECT_DOUBLE_EQ(s.p50_s, 1.0);  // lower median
+
+  s = SummarizeSeconds({});
+  EXPECT_EQ(s.repeats, 0);
+}
+
+// ------------------------------------------------- RunResult round-trip
+
+RunResult MakeRun() {
+  RunResult run;
+  run.scenario = "table3_fig11_baselines";
+  run.name = "SA-LSH \"quoted\\name\"";  // exercises escaping end-to-end
+  run.spec = "sa-lsh:k=4,l=63,q=4,seed=7,w=5,mode=or,domain=bib";
+  run.dataset = "cora-like";
+  run.dataset_records = 1879;
+  run.AddParam("best_setting", "sa-lsh(w=5)");
+  run.AddParam("settings", "1");
+  run.time = SummarizeSeconds({0.25, 0.21, 0.22});
+  run.stages.push_back({"token-blocking", 120, 4567, 99, 0.031});
+  run.stages.push_back({"meta", 80, 1234, 50, 0.013});
+  run.has_metrics = true;
+  run.metrics.pc = 0.97;
+  run.metrics.pq = 0.42;
+  run.metrics.rr = 0.9999;
+  run.metrics.fm = 0.59;
+  run.metrics.pq_star = 0.5;
+  run.metrics.fm_star = 0.66;
+  run.metrics.distinct_pairs = 123456;
+  run.metrics.true_pairs = 9876;
+  run.metrics.total_comparisons = 234567;
+  run.metrics.ground_truth_pairs = 10000;
+  run.metrics.all_pairs = 1764381;
+  run.metrics.num_blocks = 321;
+  run.metrics.max_block_size = 77;
+  run.AddValue("speed_of_light", 1.0);
+  return run;
+}
+
+TEST(RunResultTest, JsonRoundTrip) {
+  RunResult run = MakeRun();
+  std::string text = ToJson(run).Dump(2);
+
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(text, &parsed).ok());
+  RunResult back;
+  Status status = RunResultFromJson(parsed, &back);
+  ASSERT_TRUE(status.ok()) << status.message();
+
+  EXPECT_EQ(back.scenario, run.scenario);
+  EXPECT_EQ(back.name, run.name);
+  EXPECT_EQ(back.spec, run.spec);
+  EXPECT_EQ(back.dataset, run.dataset);
+  EXPECT_EQ(back.dataset_records, run.dataset_records);
+  EXPECT_EQ(back.params, run.params);
+  EXPECT_EQ(back.time.repeats, run.time.repeats);
+  EXPECT_DOUBLE_EQ(back.time.min_s, run.time.min_s);
+  EXPECT_DOUBLE_EQ(back.time.mean_s, run.time.mean_s);
+  EXPECT_DOUBLE_EQ(back.time.p50_s, run.time.p50_s);
+  ASSERT_EQ(back.stages.size(), run.stages.size());
+  for (size_t i = 0; i < run.stages.size(); ++i) {
+    EXPECT_EQ(back.stages[i].name, run.stages[i].name);
+    EXPECT_EQ(back.stages[i].blocks, run.stages[i].blocks);
+    EXPECT_EQ(back.stages[i].comparisons, run.stages[i].comparisons);
+    EXPECT_EQ(back.stages[i].max_block_size, run.stages[i].max_block_size);
+    EXPECT_DOUBLE_EQ(back.stages[i].seconds, run.stages[i].seconds);
+  }
+  ASSERT_TRUE(back.has_metrics);
+  EXPECT_DOUBLE_EQ(back.metrics.pc, run.metrics.pc);
+  EXPECT_DOUBLE_EQ(back.metrics.fm_star, run.metrics.fm_star);
+  EXPECT_EQ(back.metrics.distinct_pairs, run.metrics.distinct_pairs);
+  EXPECT_EQ(back.metrics.max_block_size, run.metrics.max_block_size);
+  EXPECT_EQ(back.values, run.values);
+
+  // Serialize → parse → serialize is byte-stable (stable key order).
+  EXPECT_EQ(ToJson(back).Dump(2), text);
+}
+
+TEST(RunResultTest, OptionalSectionsOmitted) {
+  RunResult run;
+  run.scenario = "fig5_collision";
+  run.name = "AND,w=1";
+  Json j = ToJson(run);
+  EXPECT_EQ(j.Find("spec"), nullptr);
+  EXPECT_EQ(j.Find("dataset"), nullptr);
+  EXPECT_EQ(j.Find("params"), nullptr);
+  EXPECT_EQ(j.Find("time"), nullptr);
+  EXPECT_EQ(j.Find("stages"), nullptr);
+  EXPECT_EQ(j.Find("metrics"), nullptr);
+  EXPECT_EQ(j.Find("values"), nullptr);
+
+  RunResult back;
+  ASSERT_TRUE(RunResultFromJson(j, &back).ok());
+  EXPECT_FALSE(back.has_metrics);
+  EXPECT_EQ(back.time.repeats, 0);
+}
+
+TEST(RunResultTest, FromJsonRejectsMissingName) {
+  Json j = Json::Object();
+  j.Set("scenario", "x");
+  RunResult out;
+  Status status = RunResultFromJson(j, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("name"), std::string::npos);
+}
+
+// ------------------------------------------------ SuiteResult round-trip
+
+TEST(SuiteResultTest, JsonRoundTrip) {
+  SuiteResult suite;
+  suite.quick = true;
+  suite.repeat = 3;
+  suite.scenarios.push_back({"table3_fig11_baselines", 0, 12.5});
+  suite.scenarios.push_back({"engine_scaling", 1, 3.25});
+  suite.runs.push_back(MakeRun());
+
+  std::string text = ToJson(suite).Dump(2);
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(text, &parsed).ok());
+  SuiteResult back;
+  Status status = SuiteResultFromJson(parsed, &back);
+  ASSERT_TRUE(status.ok()) << status.message();
+
+  EXPECT_EQ(back.tool, "sablock_bench");
+  EXPECT_EQ(back.schema_version, kSchemaVersion);
+  EXPECT_TRUE(back.quick);
+  EXPECT_EQ(back.repeat, 3);
+  ASSERT_EQ(back.scenarios.size(), 2u);
+  EXPECT_EQ(back.scenarios[1].name, "engine_scaling");
+  EXPECT_EQ(back.scenarios[1].exit_code, 1);
+  ASSERT_EQ(back.runs.size(), 1u);
+  EXPECT_EQ(back.runs[0].name, suite.runs[0].name);
+  EXPECT_EQ(ToJson(back).Dump(2), text);
+}
+
+TEST(SuiteResultTest, RejectsWrongSchemaVersion) {
+  SuiteResult suite;
+  Json j = ToJson(suite);
+  j.Set("schema_version", static_cast<int64_t>(kSchemaVersion + 1));
+  SuiteResult back;
+  Status status = SuiteResultFromJson(j, &back);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("schema_version"), std::string::npos);
+}
+
+TEST(SuiteResultTest, RejectsNonObjectAndMissingRuns) {
+  SuiteResult back;
+  EXPECT_FALSE(SuiteResultFromJson(Json(1.5), &back).ok());
+  Json j = ToJson(SuiteResult());
+  Json no_runs = Json::Object();
+  for (const auto& [key, value] : j.members()) {
+    if (key != "runs") no_runs.Set(key, value);
+  }
+  EXPECT_FALSE(SuiteResultFromJson(no_runs, &back).ok());
+}
+
+}  // namespace
+}  // namespace sablock::report

@@ -1,0 +1,237 @@
+#!/usr/bin/env python3
+"""Diff two sablock_bench suite JSON files and gate on regressions.
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json \
+        [--max-regression PCT] [--min-seconds S] [--strict-runs]
+
+Runs are matched across files by (scenario, dataset, dataset_records,
+name).  For every matched pair the tool checks:
+
+  * quality: the `metrics` object, per-stage `blocks` / `comparisons` /
+    `max_block_size` counts, and every `values` entry must be exactly
+    equal — these are deterministic given the same configuration, so any
+    drift is a behaviour change, not noise.  Exit 1.
+  * build time: `time.min_s` may not regress by more than
+    --max-regression percent (default 25; timings below --min-seconds,
+    default 0.01 s, are skipped as pure noise — except runs marked
+    `params.time_unit == "per_op"`, whose auto-scaled per-operation
+    stats are gated at any magnitude).  Exit 1.
+
+Runs present in only one file are reported; with --strict-runs they fail
+the comparison (exit 1), otherwise they are informational.  Zero matched
+runs always fails (exit 1): comparing disjoint suites gates nothing.
+Files that are not valid suite JSON (bad schema_version, missing keys)
+exit 2.
+
+`bench_compare.py X.json X.json` is always a clean exit 0 — the CI
+bench-smoke job uses that self-diff as a sanity check.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def fail_usage(message):
+    print(f"bench_compare: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_suite(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            suite = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail_usage(f"cannot read suite '{path}': {e}")
+    if not isinstance(suite, dict) or "runs" not in suite:
+        fail_usage(f"'{path}' is not a sablock_bench suite (no 'runs')")
+    version = suite.get("schema_version")
+    if version != SCHEMA_VERSION:
+        fail_usage(
+            f"'{path}' has schema_version {version!r}, expected"
+            f" {SCHEMA_VERSION}"
+        )
+    return suite
+
+
+def run_key(run):
+    return (
+        run.get("scenario", ""),
+        run.get("dataset", ""),
+        run.get("dataset_records", 0),
+        run.get("name", ""),
+    )
+
+
+def index_runs(suite, path):
+    runs = {}
+    for run in suite["runs"]:
+        key = run_key(run)
+        if key in runs:
+            fail_usage(f"duplicate run key {key} in '{path}'")
+        runs[key] = run
+    return runs
+
+
+def key_name(key):
+    scenario, dataset, records, name = key
+    where = f"{dataset}[{records}]" if dataset else "(no dataset)"
+    return f"{scenario} / {where} / {name}"
+
+
+def compare_exact(key, section, baseline, current, problems):
+    """Exact comparison of deterministic scalars (dict of name -> number)."""
+    for field in sorted(set(baseline) | set(current)):
+        old, new = baseline.get(field), current.get(field)
+        if old != new:
+            problems.append(
+                f"QUALITY {key_name(key)}: {section}.{field}"
+                f" changed {old!r} -> {new!r}"
+            )
+
+
+def compare_runs(key, baseline, current, args, problems, notes):
+    compare_exact(
+        key,
+        "metrics",
+        baseline.get("metrics", {}),
+        current.get("metrics", {}),
+        problems,
+    )
+    compare_exact(
+        key,
+        "values",
+        baseline.get("values", {}),
+        current.get("values", {}),
+        problems,
+    )
+
+    old_stages = baseline.get("stages", [])
+    new_stages = current.get("stages", [])
+    if [s.get("name") for s in old_stages] != [
+        s.get("name") for s in new_stages
+    ]:
+        problems.append(
+            f"QUALITY {key_name(key)}: pipeline stage list changed"
+        )
+    else:
+        for old, new in zip(old_stages, new_stages):
+            compare_exact(
+                key,
+                f"stage[{old.get('name')}]",
+                {k: old.get(k) for k in ("blocks", "comparisons",
+                                         "max_block_size")},
+                {k: new.get(k) for k in ("blocks", "comparisons",
+                                         "max_block_size")},
+                problems,
+            )
+
+    old_time = baseline.get("time", {}).get("min_s")
+    new_time = current.get("time", {}).get("min_s")
+    if old_time is None or new_time is None:
+        return
+    # per-op stats (params.time_unit == "per_op") come from auto-scaled
+    # measurement passes, so even nanosecond values are trustworthy and
+    # stay gated; only wall-clock stats get the absolute noise floor.
+    per_op = baseline.get("params", {}).get("time_unit") == "per_op"
+    if old_time < args.min_seconds and not per_op:
+        return  # too fast to compare meaningfully
+    regression = 100.0 * (new_time - old_time) / old_time
+    if regression > args.max_regression:
+        problems.append(
+            f"TIME {key_name(key)}: build time regressed"
+            f" {regression:+.1f}% ({old_time:.4g}s -> {new_time:.4g}s,"
+            f" threshold {args.max_regression:.0f}%)"
+        )
+    elif regression < -args.max_regression:
+        notes.append(
+            f"time improved {regression:+.1f}% in {key_name(key)}"
+            f" ({old_time:.4g}s -> {new_time:.4g}s)"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("baseline", help="baseline suite JSON")
+    parser.add_argument("current", help="current suite JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="max tolerated build-time regression in percent (default 25)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.01,
+        metavar="S",
+        help="skip time comparison below this baseline time (default 0.01)",
+    )
+    parser.add_argument(
+        "--strict-runs",
+        action="store_true",
+        help="fail when a run exists in only one file",
+    )
+    args = parser.parse_args()
+
+    baseline_suite = load_suite(args.baseline)
+    current_suite = load_suite(args.current)
+    baseline = index_runs(baseline_suite, args.baseline)
+    current = index_runs(current_suite, args.current)
+
+    problems = []
+    notes = []
+
+    for field in ("quick", "repeat"):
+        old, new = baseline_suite.get(field), current_suite.get(field)
+        if old != new:
+            notes.append(
+                f"suites differ in '{field}' ({old!r} vs {new!r});"
+                " runs may not match"
+            )
+
+    removed = sorted(set(baseline) - set(current))
+    added = sorted(set(current) - set(baseline))
+    for key in removed:
+        message = f"run only in baseline: {key_name(key)}"
+        (problems if args.strict_runs else notes).append(
+            f"MISSING {message}" if args.strict_runs else message
+        )
+    for key in added:
+        message = f"run only in current: {key_name(key)}"
+        (problems if args.strict_runs else notes).append(
+            f"MISSING {message}" if args.strict_runs else message
+        )
+
+    matched = sorted(set(baseline) & set(current))
+    if not matched:
+        # Comparing disjoint suites (different --quick sizes, filters or
+        # overrides) would silently gate nothing — that is never what a
+        # regression check wants.
+        problems.append(
+            "MISMATCH no runs matched between the two suites"
+            " (were they produced with the same sizes and filters?)"
+        )
+    for key in matched:
+        compare_runs(key, baseline[key], current[key], args, problems, notes)
+
+    for note in notes:
+        print(f"note: {note}")
+    print(
+        f"compared {len(matched)} matched runs"
+        f" ({len(removed)} removed, {len(added)} added):"
+        f" {len(problems)} problem(s)"
+    )
+    for problem in problems:
+        print(problem)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

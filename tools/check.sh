@@ -2,39 +2,64 @@
 # Tier-1 verification: configure + build + ctest, failing on first error.
 # Mirrors the command in ROADMAP.md exactly.
 #
-# Optional sanitizer modes:
-#   tools/check.sh --tsan   builds with -DSABLOCK_SANITIZE=thread (into
-#       build-tsan/) and runs the concurrency tests — thread pool,
-#       concurrent sinks, sharded execution engine, feature store, and
-#       the block pipeline (sharded stream mode feeding one global stage
-#       chain through ConcurrentSink) — under ThreadSanitizer.
-#   tools/check.sh --asan   builds with -DSABLOCK_SANITIZE=address,undefined
-#       (into build-asan/) and runs the full test suite (including the
-#       pipeline and stage tests) under AddressSanitizer + UBSan — the
-#       memory-safety gate for the arena-backed Dataset, the FeatureStore
-#       caches and the stage chains' buffered blocks.
+# Modes:
+#   tools/check.sh           full: configure, build, whole test suite
+#   tools/check.sh --quick   fast local iteration: build + unit-labelled
+#       tests only (skips the slow golden reproductions and the
+#       multi-threaded concurrency tests — run the full suite or the
+#       sanitizer modes before shipping)
+#   tools/check.sh --tsan    builds with -DSABLOCK_SANITIZE=thread (into
+#       build-tsan/) and runs the concurrency-labelled tests — thread
+#       pool, concurrent sinks, sharded execution engine, feature store,
+#       and the block pipeline — under ThreadSanitizer
+#   tools/check.sh --asan    builds with -DSABLOCK_SANITIZE=address,undefined
+#       (into build-asan/) and runs the full test suite under ASan+UBSan —
+#       the memory-safety gate for the arena-backed Dataset, the
+#       FeatureStore caches and the stage chains' buffered blocks
+#
+# ctest's exit status is captured explicitly and re-raised as the script
+# status in every mode, so a test failure can never be masked by `cd`,
+# `exit 0` tails, or future edits that append steps after the test run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--tsan" ]]; then
-  cmake -B build-tsan -S . -DSABLOCK_SANITIZE=thread
-  cmake --build build-tsan -j \
-    --target thread_pool_test concurrent_sink_test engine_test \
-             feature_store_test pipeline_test pipeline_golden_test
-  cd build-tsan
-  ctest --output-on-failure \
-    -R '^(thread_pool_test|concurrent_sink_test|engine_test|feature_store_test|pipeline_test|pipeline_golden_test)$'
-  exit 0
-fi
+# Runs ctest in $1 with the remaining args; propagates its exit status.
+run_ctest() {
+  local build_dir="$1"
+  shift
+  local rc=0
+  (cd "$build_dir" && ctest --output-on-failure "$@") || rc=$?
+  if [[ $rc -ne 0 ]]; then
+    echo "check.sh: ctest failed in $build_dir (exit $rc)" >&2
+  fi
+  return "$rc"
+}
 
-if [[ "${1:-}" == "--asan" ]]; then
-  cmake -B build-asan -S . -DSABLOCK_SANITIZE=address,undefined
-  cmake --build build-asan -j
-  cd build-asan
-  ctest --output-on-failure -j
-  exit 0
-fi
+mode="${1:-}"
 
-cmake -B build -S .
-cmake --build build -j
-cd build && ctest --output-on-failure -j
+case "$mode" in
+  --tsan)
+    cmake -B build-tsan -S . -DSABLOCK_SANITIZE=thread
+    cmake --build build-tsan -j
+    run_ctest build-tsan -L concurrency
+    ;;
+  --asan)
+    cmake -B build-asan -S . -DSABLOCK_SANITIZE=address,undefined
+    cmake --build build-asan -j
+    run_ctest build-asan -j
+    ;;
+  --quick)
+    cmake -B build -S .
+    cmake --build build -j
+    run_ctest build -L unit -j
+    ;;
+  "")
+    cmake -B build -S .
+    cmake --build build -j
+    run_ctest build -j
+    ;;
+  *)
+    echo "usage: tools/check.sh [--quick|--tsan|--asan]" >&2
+    exit 2
+    ;;
+esac

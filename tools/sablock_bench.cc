@@ -1,0 +1,8 @@
+// The unified benchmark-suite runner; all logic lives in
+// bench/bench_main.cc so the report golden test can drive it in-process.
+
+#include "scenarios.h"
+
+int main(int argc, char** argv) {
+  return sablock::bench::BenchMain(argc, argv);
+}
