@@ -20,6 +20,7 @@ void RegisterAllScenarios(report::BenchRegistry& registry) {
   RegisterEngineScaling(registry);
   RegisterLshVariants(registry);
   RegisterMicro(registry);
+  RegisterServiceLatency(registry);
 }
 
 void EnsureScenariosRegistered() {

@@ -1,0 +1,221 @@
+// Serving-path latency: drives insert/query mixes through the
+// CandidateService (and, for one index, through the full Unix-socket
+// server + client stack) and reports per-operation p50/p99 latency and
+// sustained QPS — the RunResult `latency` extension of the JSON schema.
+//
+// Every registered incremental index runs in-process over the same
+// Cora-like dataset: all records inserted one by one (the "insert" row),
+// then a fixed probe set queried (the "query" row). The token index
+// additionally runs through the socket so the framing + dispatch
+// overhead is visible as the delta to its in-process rows. Candidate
+// totals are deterministic (generator + spec seeded) and recorded in
+// `values`; the scenario fails if the socket path returns different
+// candidates than the in-process path.
+//
+// Flags: --records=N (default 2000 / quick 300) inserted records,
+// --queries=N (default 500 / quick 150) probes.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "eval/harness.h"
+#include "scenarios.h"
+#include "service/candidate_server.h"
+#include "service/candidate_service.h"
+#include "service/client.h"
+
+namespace sablock::bench {
+namespace {
+
+struct PhaseResult {
+  report::LatencyStats latency;
+  double total_candidates = 0.0;  // deterministic; 0 for insert phases
+};
+
+/// Records one latency row.
+void RecordLatency(report::BenchContext& ctx, const std::string& name,
+                   const std::string& spec, const data::Dataset& dataset,
+                   const PhaseResult& phase, bool is_query) {
+  report::RunResult run;
+  run.name = name;
+  run.spec = spec;
+  run.dataset = "cora-like";
+  run.dataset_records = dataset.size();
+  run.has_latency = true;
+  run.latency = phase.latency;
+  if (is_query) run.AddValue("total_candidates", phase.total_candidates);
+  ctx.Record(std::move(run));
+}
+
+/// Inserts every record through the in-process service, timing each op.
+PhaseResult InsertAll(service::CandidateService& service,
+                      const data::Dataset& dataset) {
+  PhaseResult out;
+  std::vector<double> op_seconds;
+  op_seconds.reserve(dataset.size());
+  WallTimer wall;
+  for (data::RecordId id = 0; id < dataset.size(); ++id) {
+    WallTimer op;
+    service.Insert(dataset.Values(id));
+    op_seconds.push_back(op.Seconds());
+  }
+  out.latency =
+      report::SummarizeLatency(std::move(op_seconds), wall.Seconds());
+  return out;
+}
+
+/// Queries `probes` records (cycling through the dataset), timing each.
+PhaseResult QueryProbes(service::CandidateService& service,
+                        const data::Dataset& dataset, size_t probes) {
+  PhaseResult out;
+  std::vector<double> op_seconds;
+  op_seconds.reserve(probes);
+  WallTimer wall;
+  for (size_t i = 0; i < probes; ++i) {
+    data::RecordId id = static_cast<data::RecordId>(i % dataset.size());
+    WallTimer op;
+    std::vector<data::RecordId> candidates =
+        service.Query(dataset.Values(id));
+    op_seconds.push_back(op.Seconds());
+    out.total_candidates += static_cast<double>(candidates.size());
+  }
+  out.latency =
+      report::SummarizeLatency(std::move(op_seconds), wall.Seconds());
+  return out;
+}
+
+int RunServiceLatency(report::BenchContext& ctx) {
+  const size_t records = ctx.SizeOr("records", 2000, 300);
+  const size_t probes = ctx.SizeOr("queries", 500, 150);
+
+  data::Dataset dataset = MakePaperCora(records);
+
+  // The paper's Cora attributes; l reduced so the quick suite stays fast
+  // on one core while every index family is still exercised.
+  const std::vector<std::pair<std::string, std::string>> specs = {
+      {"token", "token-blocking:attrs=authors+title"},
+      {"sor-a", "sor-a:window=3,attrs=authors+title"},
+      {"lsh", "lsh:k=4,l=12,q=4,attrs=authors+title"},
+      {"sa-lsh", "sa-lsh:k=4,l=12,q=4,w=5,mode=or,domain=bib"},
+  };
+
+  std::printf("Service latency: %zu inserts + %zu queries per index "
+              "(Cora-like records)\n\n",
+              records, probes);
+  eval::TablePrinter table({"index", "path", "op", "ops", "p50(us)",
+                            "p99(us)", "qps"});
+  auto add_row = [&table](const std::string& index, const char* path,
+                          const char* op,
+                          const report::LatencyStats& stats) {
+    table.AddRow({index, path, op, std::to_string(stats.ops),
+                  FormatDouble(stats.p50_us, 1),
+                  FormatDouble(stats.p99_us, 1),
+                  FormatDouble(stats.qps, 0)});
+  };
+
+  double token_inproc_candidates = -1.0;
+  for (const auto& [label, spec] : specs) {
+    std::unique_ptr<service::CandidateService> svc;
+    Status s =
+        service::CandidateService::Make(dataset.schema(), spec, &svc);
+    SABLOCK_CHECK_MSG(s.ok(), s.message().c_str());
+
+    PhaseResult insert = InsertAll(*svc, dataset);
+    PhaseResult query = QueryProbes(*svc, dataset, probes);
+    if (label == "token") {
+      token_inproc_candidates = query.total_candidates;
+    }
+    add_row(label, "inproc", "insert", insert.latency);
+    add_row(label, "inproc", "query", query.latency);
+    RecordLatency(ctx, "inproc/" + label + "/insert", spec, dataset,
+                  insert, false);
+    RecordLatency(ctx, "inproc/" + label + "/query", spec, dataset, query,
+                  true);
+  }
+
+  // Socket path: the token index again, but through the full server
+  // stack — framing, dispatch, and one client connection.
+  const std::string socket_spec = specs.front().second;
+  std::unique_ptr<service::CandidateService> svc;
+  Status s =
+      service::CandidateService::Make(dataset.schema(), socket_spec, &svc);
+  SABLOCK_CHECK_MSG(s.ok(), s.message().c_str());
+  const std::string socket_path =
+      "/tmp/sablock-bench-" + std::to_string(::getpid()) + ".sock";
+  service::CandidateServer server(svc.get(), socket_path, 2);
+  s = server.Start();
+  SABLOCK_CHECK_MSG(s.ok(), s.message().c_str());
+  service::CandidateClient client;
+  s = service::CandidateClient::Connect(socket_path, &client);
+  SABLOCK_CHECK_MSG(s.ok(), s.message().c_str());
+
+  PhaseResult sock_insert;
+  {
+    std::vector<double> op_seconds;
+    op_seconds.reserve(dataset.size());
+    WallTimer wall;
+    for (data::RecordId id = 0; id < dataset.size(); ++id) {
+      data::RecordId assigned = 0;
+      WallTimer op;
+      s = client.Insert(dataset.Values(id), &assigned);
+      op_seconds.push_back(op.Seconds());
+      SABLOCK_CHECK_MSG(s.ok(), s.message().c_str());
+      SABLOCK_CHECK(assigned == id);
+    }
+    sock_insert.latency =
+        report::SummarizeLatency(std::move(op_seconds), wall.Seconds());
+  }
+  PhaseResult sock_query;
+  {
+    std::vector<double> op_seconds;
+    op_seconds.reserve(probes);
+    std::vector<data::RecordId> candidates;
+    WallTimer wall;
+    for (size_t i = 0; i < probes; ++i) {
+      data::RecordId id = static_cast<data::RecordId>(i % dataset.size());
+      WallTimer op;
+      s = client.Query(dataset.Values(id), &candidates);
+      op_seconds.push_back(op.Seconds());
+      SABLOCK_CHECK_MSG(s.ok(), s.message().c_str());
+      sock_query.total_candidates +=
+          static_cast<double>(candidates.size());
+    }
+    sock_query.latency =
+        report::SummarizeLatency(std::move(op_seconds), wall.Seconds());
+  }
+  client.Close();
+  server.Stop();
+
+  add_row("token", "socket", "insert", sock_insert.latency);
+  add_row("token", "socket", "query", sock_query.latency);
+  RecordLatency(ctx, "socket/token/insert", socket_spec, dataset,
+                sock_insert, false);
+  RecordLatency(ctx, "socket/token/query", socket_spec, dataset,
+                sock_query, true);
+  table.Print();
+
+  const bool candidates_match =
+      sock_query.total_candidates == token_inproc_candidates;
+  std::printf("\nsocket/in-process candidate agreement: %s\n",
+              candidates_match ? "PASS" : "FAIL");
+  return candidates_match ? 0 : 1;
+}
+
+}  // namespace
+
+void RegisterServiceLatency(report::BenchRegistry& registry) {
+  registry.Register(
+      {"service_latency",
+       "candidate-server insert/query latency (p50/p99/QPS), in-process "
+       "and over the Unix socket",
+       {"records", "queries"}},
+      RunServiceLatency);
+}
+
+}  // namespace sablock::bench

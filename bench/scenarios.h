@@ -45,6 +45,7 @@ void RegisterAblationSemantics(report::BenchRegistry& registry);
 void RegisterEngineScaling(report::BenchRegistry& registry);
 void RegisterLshVariants(report::BenchRegistry& registry);
 void RegisterMicro(report::BenchRegistry& registry);
+void RegisterServiceLatency(report::BenchRegistry& registry);
 
 }  // namespace sablock::bench
 

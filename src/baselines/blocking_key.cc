@@ -7,11 +7,8 @@
 
 namespace sablock::baselines {
 
-namespace {
-
-/// Encodes one already normalized component value into `key`.
-void AppendComponent(const KeyComponent& comp, std::string_view value,
-                     std::string* key) {
+void AppendKeyComponent(const KeyComponent& comp, std::string_view value,
+                        std::string* key) {
   if (value.empty()) return;
   switch (comp.encoding) {
     case KeyComponent::Encoding::kExact:
@@ -40,8 +37,6 @@ void AppendComponent(const KeyComponent& comp, std::string_view value,
   }
 }
 
-}  // namespace
-
 KeyBuilder::KeyBuilder(const data::Dataset& dataset,
                        const BlockingKeyDef& def)
     : def_(def), features_(dataset.features()) {
@@ -56,7 +51,7 @@ KeyBuilder::KeyBuilder(const data::Dataset& dataset,
 std::string KeyBuilder::Key(data::RecordId id) const {
   std::string key;
   for (size_t c = 0; c < def_.components.size(); ++c) {
-    AppendComponent(def_.components[c], columns_[c].Text(id), &key);
+    AppendKeyComponent(def_.components[c], columns_[c].Text(id), &key);
   }
   return key;
 }
@@ -70,7 +65,7 @@ std::string MakeKey(const data::Dataset& dataset, data::RecordId id,
   for (const KeyComponent& comp : def.components) {
     std::string value =
         sablock::NormalizeForMatching(dataset.Value(id, comp.attribute));
-    AppendComponent(comp, value, &key);
+    AppendKeyComponent(comp, value, &key);
   }
   return key;
 }

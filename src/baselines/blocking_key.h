@@ -53,6 +53,13 @@ class KeyBuilder {
 std::string MakeKey(const data::Dataset& dataset, data::RecordId id,
                     const BlockingKeyDef& def);
 
+/// Encodes one already normalized component value onto `key` — the
+/// single shared encoding step behind KeyBuilder/MakeKey, exported so
+/// per-record key computation outside a Dataset (the incremental
+/// sorted-neighbourhood index) matches them byte-for-byte.
+void AppendKeyComponent(const KeyComponent& comp, std::string_view value,
+                        std::string* key);
+
 /// Computes all records' BKVs.
 std::vector<std::string> MakeAllKeys(const data::Dataset& dataset,
                                      const BlockingKeyDef& def);

@@ -10,10 +10,7 @@
 
 namespace sablock::core {
 
-namespace {
-
-// Bucket key of table `table` for rows [table*k, table*k + k) of `sig`.
-uint64_t BandKey(const std::vector<uint64_t>& sig, int table, int k) {
+uint64_t LshBandKey(const std::vector<uint64_t>& sig, int table, int k) {
   uint64_t key = Mix64(0x5ab10c0 + static_cast<uint64_t>(table));
   for (int r = 0; r < k; ++r) {
     key = HashCombine(key, sig[static_cast<size_t>(table) * k + r]);
@@ -21,9 +18,39 @@ uint64_t BandKey(const std::vector<uint64_t>& sig, int table, int k) {
   return key;
 }
 
-bool IsEmptySignature(const std::vector<uint64_t>& sig) {
+bool IsEmptyMinhashSignature(const std::vector<uint64_t>& sig) {
   return sig.empty() || sig[0] == MinHasher::kEmptySlot;
 }
+
+std::vector<size_t> SemanticTableChoices(const SemanticParams& params,
+                                         uint32_t dim, int table) {
+  // Draw this table's w-way semantic hash function: w distinct semhash
+  // functions chosen uniformly at random (Section 5.2).
+  const size_t w = static_cast<size_t>(
+      std::min(params.w, static_cast<int>(dim)));  // clamp to |G|
+  Rng rng(Mix64(params.seed) ^ Mix64(0x7ab1e + table));
+  return rng.SampleIndices(dim, w);
+}
+
+void AppendSemanticBucketKeys(uint64_t band, const SemSignature& sem,
+                              SemanticMode mode,
+                              const std::vector<size_t>& chosen,
+                              std::vector<uint64_t>* keys) {
+  if (mode == SemanticMode::kAnd) {
+    for (size_t f : chosen) {
+      if (!sem.Get(static_cast<uint32_t>(f))) return;
+    }
+    keys->push_back(band);
+  } else {
+    for (size_t f : chosen) {
+      if (sem.Get(static_cast<uint32_t>(f))) {
+        keys->push_back(HashCombine(band, 0xfeed0000 + f));
+      }
+    }
+  }
+}
+
+namespace {
 
 void EmitBlocks(std::unordered_map<uint64_t, Block>&& buckets,
                 BlockSink& sink) {
@@ -69,8 +96,8 @@ void LshBlocker::Run(const data::Dataset& dataset, BlockSink& sink) const {
     std::unordered_map<uint64_t, Block> buckets;
     buckets.reserve(dataset.size());
     for (data::RecordId id = 0; id < dataset.size(); ++id) {
-      if (IsEmptySignature(sigs.Signature(id))) continue;
-      buckets[BandKey(sigs.Signature(id), t, params_.k)].push_back(id);
+      if (IsEmptyMinhashSignature(sigs.Signature(id))) continue;
+      buckets[LshBandKey(sigs.Signature(id), t, params_.k)].push_back(id);
     }
     EmitBlocks(std::move(buckets), sink);
   }
@@ -111,39 +138,20 @@ void SemanticAwareLshBlocker::Run(const data::Dataset& dataset,
     LshBlocker(lsh_params_).Run(dataset, sink);
     return;
   }
-  const int w =
-      std::min(sem_params_.w, static_cast<int>(dim));  // clamp to |G|
-
+  std::vector<uint64_t> keys;
   for (int t = 0; t < lsh_params_.l; ++t) {
     if (sink.Done()) return;
-    // Draw this table's w-way semantic hash function: w distinct semhash
-    // functions chosen uniformly at random (Section 5.2).
-    Rng rng(Mix64(sem_params_.seed) ^ Mix64(0x7ab1e + t));
-    std::vector<size_t> chosen =
-        rng.SampleIndices(dim, static_cast<size_t>(w));
+    std::vector<size_t> chosen = SemanticTableChoices(sem_params_, dim, t);
 
     std::unordered_map<uint64_t, Block> buckets;
     buckets.reserve(dataset.size());
     for (data::RecordId id = 0; id < dataset.size(); ++id) {
-      if (IsEmptySignature(sigs.Signature(id))) continue;
-      uint64_t band = BandKey(sigs.Signature(id), t, lsh_params_.k);
-      const SemSignature& sem = sem_sigs[id];
-      if (sem_params_.mode == SemanticMode::kAnd) {
-        bool all_set = true;
-        for (size_t f : chosen) {
-          if (!sem.Get(static_cast<uint32_t>(f))) {
-            all_set = false;
-            break;
-          }
-        }
-        if (all_set) buckets[band].push_back(id);
-      } else {
-        for (size_t f : chosen) {
-          if (sem.Get(static_cast<uint32_t>(f))) {
-            buckets[HashCombine(band, 0xfeed0000 + f)].push_back(id);
-          }
-        }
-      }
+      if (IsEmptyMinhashSignature(sigs.Signature(id))) continue;
+      uint64_t band = LshBandKey(sigs.Signature(id), t, lsh_params_.k);
+      keys.clear();
+      AppendSemanticBucketKeys(band, sem_sigs[id], sem_params_.mode, chosen,
+                               &keys);
+      for (uint64_t key : keys) buckets[key].push_back(id);
     }
     EmitBlocks(std::move(buckets), sink);
   }

@@ -91,6 +91,36 @@ class SemanticAwareLshBlocker : public BlockingTechnique {
 features::FeatureView::SignatureHandle MinhashSignatures(
     const data::Dataset& dataset, const LshParams& params);
 
+// ----------------------------------------------------------------------
+// Bucketing primitives shared between the batch blockers above and the
+// incremental LSH/SA-LSH indexes (src/index/). Both sides MUST place a
+// record in exactly the same buckets for the index/batch parity guarantee
+// to hold, so the bucket-key computation lives here, once.
+
+/// Bucket key of table `table` for signature rows
+/// [table*k, table*k + k) of `sig`.
+uint64_t LshBandKey(const std::vector<uint64_t>& sig, int table, int k);
+
+/// True for the sentinel signature of an empty shingle set; such records
+/// are excluded from every LSH table.
+bool IsEmptyMinhashSignature(const std::vector<uint64_t>& sig);
+
+/// The w semhash functions (feature indices) table `table` draws under
+/// `params`, for a semantic dimension of `dim` features. w is clamped to
+/// dim. This is the per-table random draw of Section 5.2, deterministic
+/// in (seed, table, dim).
+std::vector<size_t> SemanticTableChoices(const SemanticParams& params,
+                                         uint32_t dim, int table);
+
+/// Appends the bucket keys record `sem` lands in for one table, given its
+/// textual band key and the table's chosen semhash functions: AND mode
+/// yields `band` itself iff all chosen bits are set; OR mode yields one
+/// derived key per set chosen bit.
+void AppendSemanticBucketKeys(uint64_t band, const SemSignature& sem,
+                              SemanticMode mode,
+                              const std::vector<size_t>& chosen,
+                              std::vector<uint64_t>* keys);
+
 /// Materializing wrapper around MinhashSignatures (copies the cached
 /// signatures out); kept for tests and ablation benches.
 std::vector<std::vector<uint64_t>> ComputeMinhashSignatures(

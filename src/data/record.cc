@@ -46,7 +46,8 @@ Dataset::Dataset(const Dataset& other)
     : schema_(other.schema_),
       arena_(other.arena_),
       values_(other.values_),
-      entities_(other.entities_) {
+      entities_(other.entities_),
+      version_(other.version_) {
   // The feature pointer may be published concurrently by a features()
   // call on `other`; read it under the same mutex that publishes it.
   std::lock_guard<std::mutex> lock(FeatureCreationMutex());
@@ -60,6 +61,7 @@ Dataset& Dataset::operator=(const Dataset& other) {
   arena_ = other.arena_;
   values_ = other.values_;
   entities_ = other.entities_;
+  version_ = other.version_;
   std::lock_guard<std::mutex> lock(FeatureCreationMutex());
   features_ = other.features_;
   feature_offset_ = other.feature_offset_;
@@ -79,6 +81,7 @@ RecordId Dataset::Add(const Record& record, EntityId entity) {
     values_.push_back(Intern(v));
   }
   entities_.push_back(entity);
+  ++version_;
   features_.reset();  // any existing store snapshot is now stale
   feature_offset_ = 0;
   return static_cast<RecordId>(entities_.size() - 1);
@@ -97,6 +100,7 @@ RecordId Dataset::AddRow(std::span<const std::string_view> values,
     values_.push_back(Intern(v));
   }
   entities_.push_back(entity);
+  ++version_;
   features_.reset();
   feature_offset_ = 0;
   return static_cast<RecordId>(entities_.size() - 1);
@@ -152,6 +156,9 @@ Dataset Dataset::Slice(size_t begin, size_t end) const {
                      values_.begin() + static_cast<ptrdiff_t>(limit * width));
   out.entities_.assign(entities_.begin() + static_cast<ptrdiff_t>(begin),
                        entities_.begin() + static_cast<ptrdiff_t>(limit));
+  // Slices inherit the parent's version so an inherited store passes the
+  // features() staleness check below (the store snapshotted that version).
+  out.version_ = version_;
   {
     // Share an already created feature store so every shard of a sharded
     // execution reuses the parent's caches.
@@ -167,6 +174,7 @@ Dataset Dataset::ColdCopy() const {
   out.arena_ = arena_;
   out.values_ = values_;
   out.entities_ = entities_;
+  out.version_ = version_;
   return out;
 }
 
@@ -190,6 +198,13 @@ features::FeatureView Dataset::features() const {
     }
     store = features_;
   }
+  // Add/AddRow reset the cache pointer, so a cached store always
+  // snapshotted this dataset at its current version; trip loudly if a
+  // future mutation path forgets the reset instead of silently serving
+  // stale features for the grown dataset.
+  SABLOCK_CHECK_MSG(store->dataset_version() == version_,
+                    "feature cache is stale: dataset mutated without "
+                    "invalidating its FeatureStore");
   return features::FeatureView(std::move(store), feature_offset_, size());
 }
 

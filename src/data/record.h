@@ -175,6 +175,13 @@ class Dataset {
   /// Bytes interned in the backing arena (0 for an empty dataset).
   size_t arena_bytes() const { return arena_ ? arena_->bytes() : 0; }
 
+  /// Mutation counter: bumped by every Add/AddRow. A FeatureStore records
+  /// the version it snapshotted, and features() checks the cached store
+  /// against the current version — so a mutation can never silently serve
+  /// stale tokens/signatures for the grown dataset (handles obtained
+  /// before the mutation keep reading their old snapshot, by design).
+  uint64_t version() const { return version_; }
+
  private:
   std::string_view Intern(std::string_view s);
 
@@ -182,6 +189,7 @@ class Dataset {
   std::shared_ptr<StringArena> arena_;
   std::vector<std::string_view> values_;  // row-major, size() * schema size
   std::vector<EntityId> entities_;
+  uint64_t version_ = 0;  // mutations applied; see version()
 
   // Lazily created by features(); shared (not rebuilt) by Slice/Prefix
   // copies. feature_offset_ maps this dataset's record ids into the

@@ -47,7 +47,7 @@ std::string SignatureKey(const std::vector<std::string>& attributes, int q,
 }  // namespace
 
 FeatureStore::FeatureStore(const data::Dataset& dataset)
-    : snapshot_(dataset.ColdCopy()) {}
+    : snapshot_(dataset.ColdCopy()), dataset_version_(dataset.version()) {}
 
 template <typename Column>
 FeatureStore::Entry<Column>& FeatureStore::FindOrCreate(

@@ -85,6 +85,10 @@ class FeatureStore {
   /// recomputation in tests).
   const data::Dataset& snapshot() const { return snapshot_; }
 
+  /// Dataset::version() at snapshot time; Dataset::features() compares it
+  /// against the live version to catch stale caches after mutations.
+  uint64_t dataset_version() const { return dataset_version_; }
+
   const TextColumn& Texts(const std::vector<std::string>& attributes) const;
   const TokenColumn& Tokens(const std::vector<std::string>& attributes) const;
   const ShingleColumn& Shingles(const std::vector<std::string>& attributes,
@@ -135,6 +139,7 @@ class FeatureStore {
                        SignatureColumn* out) const;
 
   data::Dataset snapshot_;
+  uint64_t dataset_version_ = 0;
 
   mutable std::mutex map_mutex_;  // guards the entry maps
   mutable EntryMap<TextColumn> texts_;

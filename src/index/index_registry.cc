@@ -1,0 +1,81 @@
+#include "index/index_registry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace sablock::index {
+
+IndexRegistry& IndexRegistry::Global() {
+  static IndexRegistry* registry = [] {
+    auto* r = new IndexRegistry();
+    internal::RegisterBuiltinIndexes(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+void IndexRegistry::Register(api::BlockerInfo info, Factory factory) {
+  SABLOCK_CHECK_MSG(!info.name.empty(), "index registry: empty name");
+  const size_t slot = entries_.size();
+  auto claim = [&](const std::string& name) {
+    bool inserted = index_.emplace(ToLower(name), slot).second;
+    SABLOCK_CHECK_MSG(inserted, name.c_str());
+  };
+  claim(info.name);
+  for (const std::string& alias : info.aliases) claim(alias);
+  entries_.emplace_back(std::move(info), std::move(factory));
+}
+
+Status IndexRegistry::Create(const std::string& spec_string,
+                             std::unique_ptr<IncrementalIndex>* out) const {
+  api::BlockerSpec spec;
+  Status status = api::BlockerSpec::Parse(spec_string, &spec);
+  if (!status.ok()) return status;
+  return Create(std::move(spec), out);
+}
+
+Status IndexRegistry::Create(api::BlockerSpec spec,
+                             std::unique_ptr<IncrementalIndex>* out) const {
+  out->reset();
+  auto it = index_.find(ToLower(spec.name));
+  if (it == index_.end()) {
+    std::string known;
+    for (const api::BlockerInfo& info : List()) {
+      if (!known.empty()) known += ", ";
+      known += info.name;
+    }
+    return Status::Error("unknown index '" + spec.name +
+                         "' (known: " + known + ")");
+  }
+  const auto& [info, factory] = entries_[it->second];
+  Status status = factory(spec.params, out);
+  if (!status.ok()) {
+    return Status::Error(info.name + ": " + status.message());
+  }
+  status = spec.params.Finish();
+  if (!status.ok()) {
+    out->reset();
+    return Status::Error(info.name + ": " + status.message());
+  }
+  SABLOCK_CHECK(*out != nullptr);
+  return Status::Ok();
+}
+
+bool IndexRegistry::Contains(const std::string& name) const {
+  return index_.count(ToLower(name)) > 0;
+}
+
+std::vector<api::BlockerInfo> IndexRegistry::List() const {
+  std::vector<api::BlockerInfo> infos;
+  infos.reserve(entries_.size());
+  for (const auto& [info, factory] : entries_) infos.push_back(info);
+  std::sort(infos.begin(), infos.end(),
+            [](const api::BlockerInfo& a, const api::BlockerInfo& b) {
+              return a.name < b.name;
+            });
+  return infos;
+}
+
+}  // namespace sablock::index

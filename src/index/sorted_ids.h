@@ -1,0 +1,29 @@
+#ifndef SABLOCK_INDEX_SORTED_IDS_H_
+#define SABLOCK_INDEX_SORTED_IDS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "data/record.h"
+
+namespace sablock::index {
+
+/// Inserts `id` into a sorted id vector, keeping ascending order. Ids are
+/// never reused, so the caller's live-id contract rules out duplicates.
+inline void InsertSortedId(std::vector<data::RecordId>* ids,
+                           data::RecordId id) {
+  ids->insert(std::upper_bound(ids->begin(), ids->end(), id), id);
+}
+
+/// Removes `id` from a sorted id vector; true if it was present.
+inline bool EraseSortedId(std::vector<data::RecordId>* ids,
+                          data::RecordId id) {
+  auto it = std::lower_bound(ids->begin(), ids->end(), id);
+  if (it == ids->end() || *it != id) return false;
+  ids->erase(it);
+  return true;
+}
+
+}  // namespace sablock::index
+
+#endif  // SABLOCK_INDEX_SORTED_IDS_H_

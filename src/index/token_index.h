@@ -1,0 +1,49 @@
+#ifndef SABLOCK_INDEX_TOKEN_INDEX_H_
+#define SABLOCK_INDEX_TOKEN_INDEX_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "index/incremental_index.h"
+
+namespace sablock::index {
+
+/// Incremental token-blocking postings: one posting list per distinct
+/// normalized whitespace token of the blocking attributes. The index-side
+/// counterpart of baselines::TokenBlockingTechnique — EmitBlocks
+/// reproduces its output byte-identically (postings with >= 2 live
+/// records, emitted in canonical content order).
+class TokenPostingsIndex : public IncrementalIndex {
+ public:
+  explicit TokenPostingsIndex(std::vector<std::string> attributes);
+
+  std::string name() const override;
+  Status Bind(const data::Schema& schema) override;
+  void Insert(data::RecordId id,
+              std::span<const std::string_view> values) override;
+  bool Remove(data::RecordId id) override;
+  std::vector<data::RecordId> Query(
+      std::span<const std::string_view> values) const override;
+  void EmitBlocks(core::BlockSink& sink) const override;
+  size_t size() const override { return live_; }
+
+ private:
+  /// Distinct normalized tokens of one row (sorted).
+  std::vector<std::string> TokensOf(
+      std::span<const std::string_view> values) const;
+
+  std::vector<std::string> attributes_;
+  std::vector<int> attr_index_;  // schema positions, set by Bind
+  bool bound_ = false;
+
+  // Postings keyed by token string, ids kept sorted ascending. An
+  // ordered map so EmitBlocks needs no per-call vocabulary sort.
+  std::map<std::string, std::vector<data::RecordId>> postings_;
+  std::map<data::RecordId, std::vector<std::string>> record_tokens_;
+  size_t live_ = 0;
+};
+
+}  // namespace sablock::index
+
+#endif  // SABLOCK_INDEX_TOKEN_INDEX_H_

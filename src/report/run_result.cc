@@ -17,6 +17,25 @@ RepeatStats SummarizeSeconds(std::vector<double> seconds) {
   return stats;
 }
 
+LatencyStats SummarizeLatency(std::vector<double> op_seconds,
+                              double wall_seconds) {
+  LatencyStats stats;
+  if (op_seconds.empty()) return stats;
+  std::sort(op_seconds.begin(), op_seconds.end());
+  stats.ops = op_seconds.size();
+  auto rank = [&](double p) {
+    size_t idx = static_cast<size_t>(p * static_cast<double>(
+                                             op_seconds.size() - 1));
+    return op_seconds[idx] * 1e6;
+  };
+  stats.p50_us = rank(0.50);
+  stats.p99_us = rank(0.99);
+  if (wall_seconds > 0.0) {
+    stats.qps = static_cast<double>(op_seconds.size()) / wall_seconds;
+  }
+  return stats;
+}
+
 namespace {
 
 Json ToJson(const RepeatStats& stats) {
@@ -35,6 +54,15 @@ Json ToJson(const StageTiming& stage) {
   j.Set("comparisons", stage.comparisons);
   j.Set("max_block_size", stage.max_block_size);
   j.Set("seconds", stage.seconds);
+  return j;
+}
+
+Json ToJson(const LatencyStats& stats) {
+  Json j = Json::Object();
+  j.Set("ops", stats.ops);
+  j.Set("p50_us", stats.p50_us);
+  j.Set("p99_us", stats.p99_us);
+  j.Set("qps", stats.qps);
   return j;
 }
 
@@ -115,6 +143,15 @@ Status RepeatStatsFromJson(const Json& json, RepeatStats* out) {
   return Status::Ok();
 }
 
+Status LatencyStatsFromJson(const Json& json, LatencyStats* out) {
+  if (json.type() != Json::Type::kObject) return Missing("latency");
+  SABLOCK_RETURN_IF_ERROR(ReadUint(json, "ops", true, &out->ops));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "p50_us", true, &out->p50_us));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "p99_us", true, &out->p99_us));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "qps", true, &out->qps));
+  return Status::Ok();
+}
+
 Status StageTimingFromJson(const Json& json, StageTiming* out) {
   if (json.type() != Json::Type::kObject) return Missing("stages[]");
   SABLOCK_RETURN_IF_ERROR(ReadString(json, "name", true, &out->name));
@@ -176,6 +213,7 @@ Json ToJson(const RunResult& run) {
     j.Set("stages", std::move(stages));
   }
   if (run.has_metrics) j.Set("metrics", ToJson(run.metrics));
+  if (run.has_latency) j.Set("latency", ToJson(run.latency));
   if (!run.values.empty()) {
     Json values = Json::Object();
     for (const auto& [key, value] : run.values) values.Set(key, value);
@@ -238,6 +276,10 @@ Status RunResultFromJson(const Json& json, RunResult* out) {
   if (const Json* metrics = json.Find("metrics")) {
     SABLOCK_RETURN_IF_ERROR(MetricsFromJson(*metrics, &out->metrics));
     out->has_metrics = true;
+  }
+  if (const Json* latency = json.Find("latency")) {
+    SABLOCK_RETURN_IF_ERROR(LatencyStatsFromJson(*latency, &out->latency));
+    out->has_latency = true;
   }
   if (const Json* values = json.Find("values")) {
     if (values->type() != Json::Type::kObject) return Missing("values");

@@ -30,6 +30,22 @@ struct RepeatStats {
 /// yields a zeroed struct). p50 is the lower median.
 RepeatStats SummarizeSeconds(std::vector<double> seconds);
 
+/// Latency distribution of a serving-path run (the `service_latency`
+/// scenario): microseconds per operation plus sustained throughput.
+/// Additive schema-v1 extension — absent for batch runs.
+struct LatencyStats {
+  uint64_t ops = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double qps = 0.0;
+};
+
+/// Computes LatencyStats from raw per-operation seconds and the total
+/// wall time of the measured phase (empty input yields a zeroed struct).
+/// Percentiles use the nearest-rank method.
+LatencyStats SummarizeLatency(std::vector<double> op_seconds,
+                              double wall_seconds);
+
 /// One step of a pipeline run: what the generator or one stage emitted
 /// and the exclusive wall time it spent (eval::StageCounts, serialized).
 struct StageTiming {
@@ -59,6 +75,8 @@ struct RunResult {
   std::vector<StageTiming> stages;
   bool has_metrics = false;
   eval::Metrics metrics;
+  bool has_latency = false;
+  LatencyStats latency;
   std::vector<std::pair<std::string, double>> values;
 
   void AddParam(std::string key, std::string value) {

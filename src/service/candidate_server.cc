@@ -1,0 +1,193 @@
+#include "service/candidate_server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+
+namespace sablock::service {
+
+namespace {
+
+/// Error response with a message.
+std::string ErrorResponse(std::string_view message) {
+  WireWriter w;
+  w.U8(kStatusError);
+  w.Str(message);
+  return w.bytes();
+}
+
+/// Reads one schema-aligned value list; false (with an untouched reader
+/// error state) on malformed input or arity mismatch.
+bool ReadValueList(WireReader& r, size_t arity,
+                   std::vector<std::string_view>* values) {
+  uint32_t count = r.U32();
+  if (!r.ok() || count != arity) return false;
+  values->clear();
+  values->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    values->push_back(r.Str());
+  }
+  return r.ok();
+}
+
+void AppendIdList(const std::vector<data::RecordId>& ids, WireWriter* w) {
+  w->U32(static_cast<uint32_t>(ids.size()));
+  for (data::RecordId id : ids) w->U32(id);
+}
+
+}  // namespace
+
+CandidateServer::CandidateServer(CandidateService* service,
+                                 std::string socket_path, int num_threads)
+    : service_(service),
+      socket_path_(std::move(socket_path)),
+      pool_(num_threads) {
+  SABLOCK_CHECK(service_ != nullptr);
+}
+
+CandidateServer::~CandidateServer() { Stop(); }
+
+Status CandidateServer::Start() {
+  SABLOCK_CHECK_MSG(!running_, "server already started");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.size() >= sizeof(addr.sun_path)) {
+    return Status::Error("socket path too long: " + socket_path_);
+  }
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::Error("socket() failed");
+  ::unlink(socket_path_.c_str());  // stale file from a crashed server
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Error("bind() failed for " + socket_path_);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(socket_path_.c_str());
+    return Status::Error("listen() failed for " + socket_path_);
+  }
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void CandidateServer::Stop() {
+  if (!running_.exchange(false)) return;
+  // Wake the accept thread: shutdown makes the blocking accept() fail.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    // Connection workers exit when their recv fails.
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+  }
+  pool_.Wait();
+  ::unlink(socket_path_.c_str());
+}
+
+void CandidateServer::AcceptLoop() {
+  while (true) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_) return;
+      continue;  // transient (e.g. ECONNABORTED)
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.insert(fd);
+    }
+    pool_.Submit([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void CandidateServer::ServeConnection(int fd) {
+  std::string request;
+  while (ReadFrame(fd, &request)) {
+    if (!WriteFrame(fd, Handle(request))) break;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections_.erase(fd);
+  }
+  ::close(fd);
+}
+
+std::string CandidateServer::Handle(std::string_view request) const {
+  WireReader r(request);
+  const uint8_t op = r.U8();
+  if (!r.ok()) return ErrorResponse("empty request");
+  const size_t arity = service_->schema().size();
+  std::vector<std::string_view> values;
+  WireWriter w;
+
+  switch (static_cast<Op>(op)) {
+    case Op::kInsert: {
+      if (!ReadValueList(r, arity, &values) || !r.Finished()) {
+        return ErrorResponse("malformed insert (expected " +
+                             std::to_string(arity) + " values)");
+      }
+      data::RecordId id = service_->Insert(values);
+      w.U8(kStatusOk);
+      w.U32(id);
+      return w.bytes();
+    }
+    case Op::kQuery: {
+      if (!ReadValueList(r, arity, &values) || !r.Finished()) {
+        return ErrorResponse("malformed query (expected " +
+                             std::to_string(arity) + " values)");
+      }
+      w.U8(kStatusOk);
+      AppendIdList(service_->Query(values), &w);
+      return w.bytes();
+    }
+    case Op::kBatchQuery: {
+      uint32_t probes = r.U32();
+      w.U8(kStatusOk);
+      w.U32(probes);
+      for (uint32_t i = 0; i < probes; ++i) {
+        if (!ReadValueList(r, arity, &values)) {
+          return ErrorResponse("malformed batch query probe " +
+                               std::to_string(i));
+        }
+        AppendIdList(service_->Query(values), &w);
+      }
+      if (!r.Finished()) return ErrorResponse("trailing batch-query bytes");
+      return w.bytes();
+    }
+    case Op::kStats: {
+      if (!r.Finished()) return ErrorResponse("trailing stats bytes");
+      ServiceStats stats = service_->stats();
+      w.U8(kStatusOk);
+      w.U64(stats.records);
+      w.U64(stats.inserts);
+      w.U64(stats.queries);
+      w.U64(stats.removes);
+      w.Str(stats.index_name);
+      return w.bytes();
+    }
+    case Op::kRemove: {
+      uint32_t id = r.U32();
+      if (!r.Finished()) return ErrorResponse("malformed remove");
+      bool removed = service_->Remove(id);
+      w.U8(kStatusOk);
+      w.U8(removed ? 1 : 0);
+      return w.bytes();
+    }
+  }
+  return ErrorResponse("unknown opcode " + std::to_string(op));
+}
+
+}  // namespace sablock::service

@@ -1,0 +1,64 @@
+#ifndef SABLOCK_SERVICE_CANDIDATE_SERVER_H_
+#define SABLOCK_SERVICE_CANDIDATE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "engine/thread_pool.h"
+#include "service/candidate_service.h"
+#include "service/protocol.h"
+
+namespace sablock::service {
+
+/// Long-lived candidate server: listens on a Unix-domain socket, accepts
+/// connections on a dedicated thread, and serves each connection's
+/// request loop on an engine::ThreadPool worker. All state lives in the
+/// wrapped CandidateService; the server only does framing and dispatch.
+class CandidateServer {
+ public:
+  /// `num_threads` sizes the worker pool (and therefore the number of
+  /// concurrently served connections; further connections queue).
+  CandidateServer(CandidateService* service, std::string socket_path,
+                  int num_threads);
+
+  /// Stops the server if still running.
+  ~CandidateServer();
+
+  CandidateServer(const CandidateServer&) = delete;
+  CandidateServer& operator=(const CandidateServer&) = delete;
+
+  /// Binds the socket (removing a stale file at the path), listens, and
+  /// starts the accept thread.
+  Status Start();
+
+  /// Shuts down the listener and every open connection, then joins all
+  /// threads and unlinks the socket file. Idempotent.
+  void Stop();
+
+  const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Builds the response payload for one request payload.
+  std::string Handle(std::string_view request) const;
+
+  CandidateService* service_;  // not owned
+  std::string socket_path_;
+  engine::ThreadPool pool_;
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};  // written by Stop, read by AcceptLoop
+
+  std::mutex conn_mu_;
+  std::set<int> connections_;  // open connection fds, for Stop()
+};
+
+}  // namespace sablock::service
+
+#endif  // SABLOCK_SERVICE_CANDIDATE_SERVER_H_

@@ -1,0 +1,73 @@
+#include "service/candidate_service.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/check.h"
+#include "index/index_registry.h"
+
+namespace sablock::service {
+
+Status CandidateService::Make(data::Schema schema,
+                              const std::string& index_spec,
+                              std::unique_ptr<CandidateService>* out) {
+  out->reset();
+  std::unique_ptr<index::IncrementalIndex> idx;
+  Status s = index::IndexRegistry::Global().Create(index_spec, &idx);
+  if (!s.ok()) return s;
+  s = idx->Bind(schema);
+  if (!s.ok()) return s;
+  out->reset(new CandidateService(std::move(schema), std::move(idx)));
+  return Status::Ok();
+}
+
+CandidateService::CandidateService(
+    data::Schema schema, std::unique_ptr<index::IncrementalIndex> idx)
+    : schema_(schema), dataset_(std::move(schema)), index_(std::move(idx)) {}
+
+data::RecordId CandidateService::Insert(
+    std::span<const std::string_view> values) {
+  SABLOCK_CHECK_MSG(values.size() == schema_.size(),
+                    "value count does not match the schema");
+  std::unique_lock lock(mu_);
+  data::RecordId id = dataset_.AddRow(values);
+  // Index the arena-backed copy, not the caller's views: index-internal
+  // state must not outlive the caller's buffers.
+  index_->Insert(id, dataset_.Values(id));
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::vector<data::RecordId> CandidateService::Query(
+    std::span<const std::string_view> values) const {
+  SABLOCK_CHECK_MSG(values.size() == schema_.size(),
+                    "value count does not match the schema");
+  std::shared_lock lock(mu_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  return index_->Query(values);
+}
+
+bool CandidateService::Remove(data::RecordId id) {
+  std::unique_lock lock(mu_);
+  bool removed = index_->Remove(id);
+  if (removed) removes_.fetch_add(1, std::memory_order_relaxed);
+  return removed;
+}
+
+void CandidateService::EmitBlocks(core::BlockSink& sink) const {
+  std::shared_lock lock(mu_);
+  index_->EmitBlocks(sink);
+}
+
+ServiceStats CandidateService::stats() const {
+  std::shared_lock lock(mu_);
+  ServiceStats s;
+  s.records = index_->size();
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.removes = removes_.load(std::memory_order_relaxed);
+  s.index_name = index_->name();
+  return s;
+}
+
+}  // namespace sablock::service

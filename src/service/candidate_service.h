@@ -1,0 +1,66 @@
+#ifndef SABLOCK_SERVICE_CANDIDATE_SERVICE_H_
+#define SABLOCK_SERVICE_CANDIDATE_SERVICE_H_
+
+#include <atomic>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/block_sink.h"
+#include "data/record.h"
+#include "index/incremental_index.h"
+#include "service/protocol.h"
+
+namespace sablock::service {
+
+/// Thread-safe candidate store: a mutable Dataset plus the incremental
+/// index over it, behind one reader/writer lock. Inserts take the
+/// exclusive side (they mutate dataset and index together); queries,
+/// stats and block emission share the read side. This is the in-process
+/// core the socket server (and the latency bench) drive.
+class CandidateService {
+ public:
+  /// Builds the service: creates the index from `index_spec` via the
+  /// IndexRegistry and binds it to `schema`.
+  static Status Make(data::Schema schema, const std::string& index_spec,
+                     std::unique_ptr<CandidateService>* out);
+
+  /// Appends the record and indexes it; returns the assigned record id.
+  /// `values` must be aligned with schema().
+  data::RecordId Insert(std::span<const std::string_view> values);
+
+  /// Candidate ids for a probe (see IncrementalIndex::Query).
+  std::vector<data::RecordId> Query(
+      std::span<const std::string_view> values) const;
+
+  /// Un-indexes a record; false if not live. The dataset row remains (ids
+  /// are append-only positions), it just stops matching probes.
+  bool Remove(data::RecordId id);
+
+  /// Streams the index's current blocks into `sink`.
+  void EmitBlocks(core::BlockSink& sink) const;
+
+  ServiceStats stats() const;
+
+  const data::Schema& schema() const { return schema_; }
+
+ private:
+  CandidateService(data::Schema schema,
+                   std::unique_ptr<index::IncrementalIndex> idx);
+
+  data::Schema schema_;
+  mutable std::shared_mutex mu_;
+  data::Dataset dataset_;                           // guarded by mu_
+  std::unique_ptr<index::IncrementalIndex> index_;  // guarded by mu_
+  std::atomic<uint64_t> inserts_{0};
+  mutable std::atomic<uint64_t> queries_{0};  // counted in const Query
+  std::atomic<uint64_t> removes_{0};
+};
+
+}  // namespace sablock::service
+
+#endif  // SABLOCK_SERVICE_CANDIDATE_SERVICE_H_

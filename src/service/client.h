@@ -1,0 +1,63 @@
+#ifndef SABLOCK_SERVICE_CLIENT_H_
+#define SABLOCK_SERVICE_CLIENT_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "data/record.h"
+#include "service/protocol.h"
+
+namespace sablock::service {
+
+/// Blocking client for the candidate server: one Unix-socket connection,
+/// one in-flight request at a time. Not thread-safe; use one client per
+/// thread (the server handles each connection independently).
+class CandidateClient {
+ public:
+  CandidateClient() = default;
+  ~CandidateClient();
+
+  CandidateClient(CandidateClient&& other) noexcept;
+  CandidateClient& operator=(CandidateClient&& other) noexcept;
+  CandidateClient(const CandidateClient&) = delete;
+  CandidateClient& operator=(const CandidateClient&) = delete;
+
+  /// Connects to a server's socket path.
+  static Status Connect(const std::string& socket_path,
+                        CandidateClient* out);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Inserts one record; returns the server-assigned record id.
+  Status Insert(std::span<const std::string_view> values,
+                data::RecordId* id);
+
+  /// Candidate ids for one probe.
+  Status Query(std::span<const std::string_view> values,
+               std::vector<data::RecordId>* candidates);
+
+  /// Candidate ids for many probes in one round trip.
+  Status BatchQuery(
+      const std::vector<std::vector<std::string>>& probes,
+      std::vector<std::vector<data::RecordId>>* candidates);
+
+  /// Un-indexes a record; `*removed` reports whether it was live.
+  Status Remove(data::RecordId id, bool* removed);
+
+  Status Stats(ServiceStats* stats);
+
+ private:
+  /// One request/response round trip; decodes an error response into the
+  /// returned status and leaves `*reader` positioned after the ok byte.
+  Status Call(const WireWriter& request, std::string* response);
+
+  int fd_ = -1;
+};
+
+}  // namespace sablock::service
+
+#endif  // SABLOCK_SERVICE_CLIENT_H_

@@ -1,0 +1,117 @@
+#include "service/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstring>
+
+namespace sablock::service {
+
+void WireWriter::U32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireWriter::U64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void WireWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+const unsigned char* WireReader::Take(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return nullptr;
+  }
+  const auto* p =
+      reinterpret_cast<const unsigned char*>(data_.data()) + pos_;
+  pos_ += n;
+  return p;
+}
+
+uint8_t WireReader::U8() {
+  const unsigned char* p = Take(1);
+  return p ? p[0] : 0;
+}
+
+uint32_t WireReader::U32() {
+  const unsigned char* p = Take(4);
+  if (!p) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t WireReader::U64() {
+  const unsigned char* p = Take(8);
+  if (!p) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::string_view WireReader::Str() {
+  uint32_t len = U32();
+  const unsigned char* p = Take(len);
+  if (!p) return {};
+  return {reinterpret_cast<const char*>(p), len};
+}
+
+namespace {
+
+/// send() with MSG_NOSIGNAL so a peer hangup surfaces as EPIPE instead of
+/// killing the process; loops over short writes.
+bool SendAll(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool RecvAll(int fd, char* data, size_t len) {
+  while (len > 0) {
+    ssize_t n = ::recv(fd, data, len, 0);
+    if (n <= 0) return false;
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  char header[4];
+  uint32_t len = static_cast<uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+  return SendAll(fd, header, sizeof(header)) &&
+         SendAll(fd, payload.data(), payload.size());
+}
+
+bool ReadFrame(int fd, std::string* payload) {
+  unsigned char header[4];
+  if (!RecvAll(fd, reinterpret_cast<char*>(header), sizeof(header))) {
+    return false;
+  }
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(header[i]) << (8 * i);
+  }
+  if (len > kMaxFrameBytes) return false;
+  payload->resize(len);
+  return len == 0 || RecvAll(fd, payload->data(), len);
+}
+
+}  // namespace sablock::service

@@ -221,6 +221,24 @@ TEST(FeatureStoreTest, AddInvalidatesTheFeatureCache) {
   EXPECT_EQ(after.TextsFor(NameCity()).Text(4), "katherine johnson hampton");
 }
 
+TEST(FeatureStoreTest, AddRowInvalidatesTheFeatureCache) {
+  // The serving-path mutation: AddRow (raw views, as CandidateService
+  // uses) must version-bump and invalidate exactly like Add, so a grown
+  // dataset never serves stale tokens/signatures.
+  data::Dataset d = TinyDataset();
+  const uint64_t version_before = d.version();
+  FeatureView before = d.features();
+  std::vector<std::string> values = {"Katherine Johnson", "Hampton"};
+  std::vector<std::string_view> views = {values.begin(), values.end()};
+  d.AddRow(views, 2);
+  EXPECT_GT(d.version(), version_before);
+  FeatureView after = d.features();
+  EXPECT_EQ(after.size(), 5u);
+  EXPECT_NE(&after.store(), &before.store());
+  EXPECT_EQ(after.TextsFor(NameCity()).Text(4), "katherine johnson hampton");
+  EXPECT_EQ(after.store().dataset_version(), d.version());
+}
+
 TEST(FeatureStoreTest, HandlesCoOwnTheStoreAcrossInvalidation) {
   data::Dataset d = TinyDataset();
   FeatureView::ShingleHandle shingles =

@@ -132,6 +132,26 @@ TEST(DatasetTest, AddRowCopiesViewsIntoOwnArena) {
   EXPECT_NE(b.Value(0, "name").data(), a.Value(0, "name").data());
 }
 
+TEST(DatasetTest, VersionCountsMutations) {
+  Dataset d{Schema({"name", "city"})};
+  EXPECT_EQ(d.version(), 0u);
+  d.Add({{"alice", "berlin"}}, 0);
+  EXPECT_EQ(d.version(), 1u);
+  std::vector<std::string> values = {"bob", "paris"};
+  std::vector<std::string_view> views = {values.begin(), values.end()};
+  d.AddRow(views, 1);
+  EXPECT_EQ(d.version(), 2u);
+  // Copies and slices inherit the version (they carry the same records,
+  // so an inherited FeatureStore snapshot is equally fresh for them).
+  Dataset copy = d;
+  EXPECT_EQ(copy.version(), d.version());
+  EXPECT_EQ(d.Slice(0, 2).version(), d.version());
+  EXPECT_EQ(d.ColdCopy().version(), d.version());
+  copy.Add({{"carol", "oslo"}}, 2);
+  EXPECT_EQ(copy.version(), 3u);
+  EXPECT_EQ(d.version(), 2u);  // independent counters after the copy
+}
+
 TEST(DatasetTest, SliceSharesArenaWithoutCopyingBytes) {
   Dataset d = TwoColumnDataset();
   const size_t bytes_before = d.arena_bytes();

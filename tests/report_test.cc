@@ -156,6 +156,8 @@ RunResult MakeRun() {
   run.metrics.all_pairs = 1764381;
   run.metrics.num_blocks = 321;
   run.metrics.max_block_size = 77;
+  run.has_latency = true;
+  run.latency = {2500, 14.5, 230.75, 61234.5};
   run.AddValue("speed_of_light", 1.0);
   return run;
 }
@@ -193,6 +195,11 @@ TEST(RunResultTest, JsonRoundTrip) {
   EXPECT_DOUBLE_EQ(back.metrics.fm_star, run.metrics.fm_star);
   EXPECT_EQ(back.metrics.distinct_pairs, run.metrics.distinct_pairs);
   EXPECT_EQ(back.metrics.max_block_size, run.metrics.max_block_size);
+  ASSERT_TRUE(back.has_latency);
+  EXPECT_EQ(back.latency.ops, run.latency.ops);
+  EXPECT_DOUBLE_EQ(back.latency.p50_us, run.latency.p50_us);
+  EXPECT_DOUBLE_EQ(back.latency.p99_us, run.latency.p99_us);
+  EXPECT_DOUBLE_EQ(back.latency.qps, run.latency.qps);
   EXPECT_EQ(back.values, run.values);
 
   // Serialize → parse → serialize is byte-stable (stable key order).
@@ -210,12 +217,35 @@ TEST(RunResultTest, OptionalSectionsOmitted) {
   EXPECT_EQ(j.Find("time"), nullptr);
   EXPECT_EQ(j.Find("stages"), nullptr);
   EXPECT_EQ(j.Find("metrics"), nullptr);
+  EXPECT_EQ(j.Find("latency"), nullptr);
   EXPECT_EQ(j.Find("values"), nullptr);
 
   RunResult back;
   ASSERT_TRUE(RunResultFromJson(j, &back).ok());
   EXPECT_FALSE(back.has_metrics);
+  EXPECT_FALSE(back.has_latency);
   EXPECT_EQ(back.time.repeats, 0);
+}
+
+TEST(LatencyStatsTest, SummarizeNearestRank) {
+  // 100 ops at 1..100 microseconds over a 0.01s wall: p50 is the 50th
+  // value (nearest-rank over the sorted list), p99 the 100th... index
+  // p*(n-1): p50 -> idx 49 (50us), p99 -> idx 98 (99us).
+  std::vector<double> ops;
+  for (int i = 100; i >= 1; --i) ops.push_back(i * 1e-6);
+  LatencyStats s = SummarizeLatency(std::move(ops), 0.01);
+  EXPECT_EQ(s.ops, 100u);
+  EXPECT_DOUBLE_EQ(s.p50_us, 50.0);
+  EXPECT_DOUBLE_EQ(s.p99_us, 99.0);
+  EXPECT_DOUBLE_EQ(s.qps, 10000.0);
+
+  LatencyStats empty = SummarizeLatency({}, 1.0);
+  EXPECT_EQ(empty.ops, 0u);
+  EXPECT_DOUBLE_EQ(empty.qps, 0.0);
+
+  LatencyStats zero_wall = SummarizeLatency({1e-6}, 0.0);
+  EXPECT_EQ(zero_wall.ops, 1u);
+  EXPECT_DOUBLE_EQ(zero_wall.qps, 0.0);  // no wall time, no rate
 }
 
 TEST(RunResultTest, FromJsonRejectsMissingName) {

@@ -17,6 +17,11 @@ name).  For every matched pair the tool checks:
     default 0.01 s, are skipped as pure noise — except runs marked
     `params.time_unit == "per_op"`, whose auto-scaled per-operation
     stats are gated at any magnitude).  Exit 1.
+  * serving latency: for runs carrying a `latency` object (the
+    service_latency scenario), `latency.p99_us` may not increase and
+    `latency.qps` may not drop by more than --max-regression percent.
+    Baselines with p99 below --min-latency-us (default 5 us, timer
+    noise) skip both checks, mirroring the --min-seconds floor.  Exit 1.
 
 Runs present in only one file are reported; with --strict-runs they fail
 the comparison (exit 1), otherwise they are informational.  Zero matched
@@ -129,6 +134,8 @@ def compare_runs(key, baseline, current, args, problems, notes):
                 problems,
             )
 
+    compare_latency(key, baseline, current, args, problems, notes)
+
     old_time = baseline.get("time", {}).get("min_s")
     new_time = current.get("time", {}).get("min_s")
     if old_time is None or new_time is None:
@@ -153,6 +160,55 @@ def compare_runs(key, baseline, current, args, problems, notes):
         )
 
 
+def compare_latency(key, baseline, current, args, problems, notes):
+    """Gates p99 latency increases and QPS drops for serving-path runs."""
+    old_lat = baseline.get("latency")
+    new_lat = current.get("latency")
+    if old_lat is None and new_lat is None:
+        return
+    if (old_lat is None) != (new_lat is None):
+        problems.append(
+            f"QUALITY {key_name(key)}: latency section"
+            f" {'appeared' if old_lat is None else 'disappeared'}"
+        )
+        return
+    if old_lat.get("ops") != new_lat.get("ops"):
+        problems.append(
+            f"QUALITY {key_name(key)}: latency.ops changed"
+            f" {old_lat.get('ops')!r} -> {new_lat.get('ops')!r}"
+        )
+    old_p99, new_p99 = old_lat.get("p99_us"), new_lat.get("p99_us")
+    old_qps, new_qps = old_lat.get("qps"), new_lat.get("qps")
+    if old_p99 is None or old_p99 < args.min_latency_us:
+        return  # sub-floor baseline: timer noise dominates
+    if new_p99 is not None and old_p99 > 0:
+        regression = 100.0 * (new_p99 - old_p99) / old_p99
+        if regression > args.max_regression:
+            problems.append(
+                f"LATENCY {key_name(key)}: p99 regressed"
+                f" {regression:+.1f}% ({old_p99:.4g}us -> {new_p99:.4g}us,"
+                f" threshold {args.max_regression:.0f}%)"
+            )
+        elif regression < -args.max_regression:
+            notes.append(
+                f"p99 improved {regression:+.1f}% in {key_name(key)}"
+                f" ({old_p99:.4g}us -> {new_p99:.4g}us)"
+            )
+    if new_qps is not None and old_qps:
+        drop = 100.0 * (old_qps - new_qps) / old_qps
+        if drop > args.max_regression:
+            problems.append(
+                f"LATENCY {key_name(key)}: throughput dropped"
+                f" {drop:.1f}% ({old_qps:.4g} -> {new_qps:.4g} QPS,"
+                f" threshold {args.max_regression:.0f}%)"
+            )
+        elif drop < -args.max_regression:
+            notes.append(
+                f"throughput improved {-drop:.1f}% in {key_name(key)}"
+                f" ({old_qps:.4g} -> {new_qps:.4g} QPS)"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -172,6 +228,13 @@ def main():
         default=0.01,
         metavar="S",
         help="skip time comparison below this baseline time (default 0.01)",
+    )
+    parser.add_argument(
+        "--min-latency-us",
+        type=float,
+        default=5.0,
+        metavar="US",
+        help="skip latency comparison below this baseline p99 (default 5)",
     )
     parser.add_argument(
         "--strict-runs",

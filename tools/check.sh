@@ -9,9 +9,10 @@
 #       multi-threaded concurrency tests — run the full suite or the
 #       sanitizer modes before shipping)
 #   tools/check.sh --tsan    builds with -DSABLOCK_SANITIZE=thread (into
-#       build-tsan/) and runs the concurrency-labelled tests — thread
-#       pool, concurrent sinks, sharded execution engine, feature store,
-#       and the block pipeline — under ThreadSanitizer
+#       build-tsan/) and runs the concurrency- and service-labelled
+#       tests — thread pool, concurrent sinks, sharded execution engine,
+#       feature store, the block pipeline, and the candidate server's
+#       concurrent insert/query traffic — under ThreadSanitizer
 #   tools/check.sh --asan    builds with -DSABLOCK_SANITIZE=address,undefined
 #       (into build-asan/) and runs the full test suite under ASan+UBSan —
 #       the memory-safety gate for the arena-backed Dataset, the
@@ -41,7 +42,7 @@ case "$mode" in
   --tsan)
     cmake -B build-tsan -S . -DSABLOCK_SANITIZE=thread
     cmake --build build-tsan -j
-    run_ctest build-tsan -L concurrency
+    run_ctest build-tsan -L 'concurrency|service'
     ;;
   --asan)
     cmake -B build-asan -S . -DSABLOCK_SANITIZE=address,undefined

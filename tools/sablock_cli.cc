@@ -34,6 +34,7 @@
 #include "data/voter_generator.h"
 #include "eval/harness.h"
 #include "eval/metrics.h"
+#include "index/index_registry.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/stage_registry.h"
 
@@ -76,7 +77,7 @@ Flags ParseFlags(int argc, char** argv) {
 
 void PrintUsage() {
   std::printf(
-      "usage: sablock_cli --list | --list-stages\n"
+      "usage: sablock_cli --list | --list-stages | --list-indexes\n"
       "       sablock_cli (--input=FILE [--entity-column=COL] |\n"
       "                    --generate=cora|voter --records=N)\n"
       "                   (--technique \"name:key=val,key=val,...\" |\n"
@@ -137,6 +138,17 @@ void PrintStages() {
       "   meta:weight=cbs,prune=wep\"\n");
 }
 
+void PrintIndexes() {
+  std::printf("registered incremental indexes (sablock_serve):\n\n");
+  for (const sablock::api::BlockerInfo& info :
+       sablock::index::IndexRegistry::Global().List()) {
+    PrintEntry(info.name, info.summary, info.aliases, info.params);
+  }
+  std::printf(
+      "\nindexes share the technique spec grammar; a fully loaded index\n"
+      "reproduces its batch technique's blocks (see README \"Serving\").\n");
+}
+
 void PrintRegistry() {
   const sablock::api::BlockerRegistry& registry =
       sablock::api::BlockerRegistry::Global();
@@ -177,6 +189,10 @@ int main(int argc, char** argv) {
   }
   if (flags.Has("list-stages")) {
     PrintStages();
+    return 0;
+  }
+  if (flags.Has("list-indexes")) {
+    PrintIndexes();
     return 0;
   }
 
