@@ -14,6 +14,8 @@
 
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "report/json.h"
 #include "report/run_result.h"
 #include "scenarios.h"
@@ -31,6 +33,8 @@ constexpr const char* kUsage =
     "  --repeat=N       timing repetitions per measured run (default 1;\n"
     "                   reported as min/mean/p50)\n"
     "  --json=FILE      write the SuiteResult JSON to FILE\n"
+    "  --prom=FILE      write the process's final metrics snapshot to\n"
+    "                   FILE in Prometheus text exposition format\n"
     "  --NAME=NUMBER    scenario size override (e.g. --cora=500\n"
     "                   --voter=2000 --records=50000 --max=100000\n"
     "                   --shards=8 --threads=4 --runs=5)\n";
@@ -41,6 +45,7 @@ struct Options {
   bool quick = false;
   int repeat = 1;
   std::string json_path;
+  std::string prom_path;
   std::vector<std::string> filters;  // lowercased substrings
   std::map<std::string, size_t> flags;
 };
@@ -83,6 +88,10 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     }
     if (name == "json") {
       options->json_path = value;
+      continue;
+    }
+    if (name == "prom") {
+      options->prom_path = value;
       continue;
     }
     errno = 0;
@@ -206,6 +215,13 @@ int BenchMain(int argc, char** argv) {
     }
   }
 
+  // One snapshot after all scenarios: the suite's metrics object and the
+  // Prometheus dump are views of the same final registry state.
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  suite.metrics_snapshot = snapshot;
+  suite.has_metrics_snapshot = true;
+
   if (!options.json_path.empty()) {
     Status status =
         report::WriteJsonFile(report::ToJson(suite), options.json_path);
@@ -216,6 +232,20 @@ int BenchMain(int argc, char** argv) {
     std::printf("wrote %zu runs from %zu scenarios to %s\n",
                 suite.runs.size(), suite.scenarios.size(),
                 options.json_path.c_str());
+  }
+  if (!options.prom_path.empty()) {
+    const std::string text = obs::ToPrometheusText(snapshot);
+    std::FILE* f = std::fopen(options.prom_path.c_str(), "w");
+    bool ok = f != nullptr &&
+              std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    if (f != nullptr && std::fclose(f) != 0) ok = false;
+    if (!ok) {
+      std::fprintf(stderr, "sablock_bench: cannot write %s\n",
+                   options.prom_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %zu metric families to %s\n",
+                snapshot.families.size(), options.prom_path.c_str());
   }
   return exit_code;
 }

@@ -4,9 +4,11 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "engine/concurrent_sink.h"
 #include "engine/thread_pool.h"
 #include "features/feature_store.h"
+#include "obs/metrics.h"
 
 namespace sablock::engine {
 
@@ -18,12 +20,35 @@ namespace {
 /// FeatureStore, so per-record features (normalized text, shingle sets,
 /// minhash signatures) are computed once for the whole dataset and reused
 /// by every concurrent shard.
+///
+/// Per-shard telemetry: record/block throughput counters plus a
+/// per-shard wall-time histogram, so a starved or skewed shard shows up
+/// on a live process instead of only in post-hoc bench output. The
+/// interposed PairCountingSink adds one branch per block — noise next to
+/// the technique's own work.
 void RunShard(const core::BlockingTechnique& technique,
               const data::Dataset& dataset, ShardRange range,
               core::BlockSink& shard_sink) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter* const shards =
+      registry.GetCounter("engine_shards", "shard tasks executed");
+  static obs::Counter* const records = registry.GetCounter(
+      "engine_shard_records", "records processed by shard tasks");
+  static obs::Counter* const blocks = registry.GetCounter(
+      "engine_shard_blocks", "blocks emitted by shard tasks");
+  static obs::Histogram* const seconds = registry.GetHistogram(
+      "engine_shard_seconds", "per-shard execution wall time",
+      obs::Histogram::LatencyBuckets());
+
+  WallTimer timer;
   data::Dataset shard = dataset.Slice(range.begin, range.end);
-  OffsetSink offset(shard_sink, range.begin);
+  core::PairCountingSink counted(shard_sink);
+  OffsetSink offset(counted, range.begin);
   technique.Run(shard, offset);
+  seconds->Observe(timer.Seconds());
+  shards->Add(1);
+  records->Add(range.size());
+  blocks->Add(counted.num_blocks());
 }
 
 }  // namespace

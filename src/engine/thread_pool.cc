@@ -3,9 +3,20 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/timer.h"
+
 namespace sablock::engine {
 
 ThreadPool::ThreadPool(int num_threads) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  queue_depth_ = registry.GetGauge(
+      "threadpool_queue_depth", "tasks submitted but not yet started");
+  tasks_total_ =
+      registry.GetCounter("threadpool_tasks", "tasks completed by workers");
+  task_seconds_ = registry.GetHistogram(
+      "threadpool_task_seconds", "task execution durations",
+      obs::Histogram::LatencyBuckets());
+
   int n = std::max(num_threads, 1);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -28,6 +39,7 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
+  queue_depth_->Add(1);
   work_cv_.notify_one();
 }
 
@@ -53,7 +65,11 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_->Sub(1);
+    WallTimer timer;
     task();
+    task_seconds_->Observe(timer.Seconds());
+    tasks_total_->Add(1);
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--in_flight_ == 0) idle_cv_.notify_all();

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace sablock::engine {
 
 /// Fixed-size worker pool executing submitted tasks FIFO. The building
@@ -51,6 +53,13 @@ class ThreadPool {
   size_t in_flight_ = 0;  // queued + currently running tasks
   bool stop_ = false;
   std::vector<std::thread> workers_;
+
+  // Telemetry (process-global families, shared by every pool): queue
+  // depth shows starved or backed-up pools, task latency where worker
+  // time goes. Resolved once here, updated lock-free in the hot path.
+  obs::Gauge* queue_depth_;       // tasks submitted but not yet started
+  obs::Counter* tasks_total_;     // tasks completed
+  obs::Histogram* task_seconds_;  // task execution durations
 };
 
 }  // namespace sablock::engine

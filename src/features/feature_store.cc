@@ -5,12 +5,38 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/minhash.h"
+#include "obs/metrics.h"
 #include "text/qgram.h"
 
 namespace sablock::features {
 
 namespace {
+
+/// Cache telemetry for one column kind: a getter call either finds the
+/// column published (hit) or pays the build (miss, with its wall time in
+/// the build histogram). Pointers resolve once per kind per process;
+/// the getters then update lock-free. Hit rate is the `featurestore`
+/// family bench_compare.py gates for drift.
+struct ColumnMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Histogram* build_seconds;
+
+  explicit ColumnMetrics(const char* column) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    hits = registry.GetCounter(
+        "featurestore_hits", "column requests served from the cache",
+        "column", column);
+    misses = registry.GetCounter(
+        "featurestore_misses", "column requests that paid a build", "column",
+        column);
+    build_seconds = registry.GetHistogram(
+        "featurestore_build_seconds", "column build wall time",
+        obs::Histogram::LatencyBuckets(), "column", column);
+  }
+};
 
 // Column keys: attribute names joined with a separator that cannot occur
 // in attribute names coming from CSV headers or generators, plus the
@@ -60,45 +86,69 @@ FeatureStore::Entry<Column>& FeatureStore::FindOrCreate(
 
 const TextColumn& FeatureStore::Texts(
     const std::vector<std::string>& attributes) const {
+  static ColumnMetrics& metrics = *new ColumnMetrics("text");
   Entry<TextColumn>& entry = FindOrCreate(texts_, TextKey(attributes));
+  bool built_here = false;
   std::call_once(entry.once, [&] {
+    WallTimer timer;
     BuildTexts(attributes, &entry.column);
+    metrics.build_seconds->Observe(timer.Seconds());
     text_builds_.fetch_add(1, std::memory_order_relaxed);
+    built_here = true;
   });
+  (built_here ? metrics.misses : metrics.hits)->Add(1);
   return entry.column;
 }
 
 const TokenColumn& FeatureStore::Tokens(
     const std::vector<std::string>& attributes) const {
+  static ColumnMetrics& metrics = *new ColumnMetrics("token");
   Entry<TokenColumn>& entry =
       FindOrCreate(tokens_columns_, TextKey(attributes));
+  bool built_here = false;
   std::call_once(entry.once, [&] {
+    WallTimer timer;
     BuildTokens(attributes, &entry.column);
+    metrics.build_seconds->Observe(timer.Seconds());
     token_builds_.fetch_add(1, std::memory_order_relaxed);
+    built_here = true;
   });
+  (built_here ? metrics.misses : metrics.hits)->Add(1);
   return entry.column;
 }
 
 const ShingleColumn& FeatureStore::Shingles(
     const std::vector<std::string>& attributes, int q) const {
+  static ColumnMetrics& metrics = *new ColumnMetrics("shingle");
   Entry<ShingleColumn>& entry =
       FindOrCreate(shingles_, ShingleKey(attributes, q));
+  bool built_here = false;
   std::call_once(entry.once, [&] {
+    WallTimer timer;
     BuildShingles(attributes, q, &entry.column);
+    metrics.build_seconds->Observe(timer.Seconds());
     shingle_builds_.fetch_add(1, std::memory_order_relaxed);
+    built_here = true;
   });
+  (built_here ? metrics.misses : metrics.hits)->Add(1);
   return entry.column;
 }
 
 const SignatureColumn& FeatureStore::Signatures(
     const std::vector<std::string>& attributes, int q, int num_hashes,
     uint64_t seed) const {
+  static ColumnMetrics& metrics = *new ColumnMetrics("signature");
   Entry<SignatureColumn>& entry = FindOrCreate(
       signatures_, SignatureKey(attributes, q, num_hashes, seed));
+  bool built_here = false;
   std::call_once(entry.once, [&] {
+    WallTimer timer;
     BuildSignatures(attributes, q, num_hashes, seed, &entry.column);
+    metrics.build_seconds->Observe(timer.Seconds());
     signature_builds_.fetch_add(1, std::memory_order_relaxed);
+    built_here = true;
   });
+  (built_here ? metrics.misses : metrics.hits)->Add(1);
   return entry.column;
 }
 

@@ -1,0 +1,255 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace sablock::obs {
+
+namespace {
+
+using report::Json;
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+bool ParseType(const std::string& name, MetricType* out) {
+  if (name == "counter") {
+    *out = MetricType::kCounter;
+  } else if (name == "gauge") {
+    *out = MetricType::kGauge;
+  } else if (name == "histogram") {
+    *out = MetricType::kHistogram;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Shortest round-trippable rendering of a bucket edge for label values.
+std::string FormatEdge(double edge) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", edge);
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[64];
+    std::snprintf(probe, sizeof(probe), "%.*g", precision, edge);
+    if (std::strtod(probe, nullptr) == edge) return probe;
+  }
+  return buf;
+}
+
+}  // namespace
+
+Json SnapshotToJson(const MetricsSnapshot& snapshot) {
+  Json root = Json::Object();
+  Json families = Json::Array();
+  for (const FamilySnapshot& family : snapshot.families) {
+    Json f = Json::Object();
+    f.Set("name", family.name);
+    f.Set("type", TypeName(family.type));
+    f.Set("help", family.help);
+    if (!family.label_key.empty()) f.Set("label_key", family.label_key);
+    Json samples = Json::Array();
+    for (const SampleSnapshot& sample : family.samples) {
+      Json s = Json::Object();
+      if (!family.label_key.empty()) s.Set("label", sample.label_value);
+      switch (family.type) {
+        case MetricType::kCounter:
+          s.Set("value", sample.counter);
+          break;
+        case MetricType::kGauge:
+          s.Set("value", static_cast<int64_t>(sample.gauge));
+          break;
+        case MetricType::kHistogram: {
+          s.Set("count", sample.count);
+          s.Set("sum", sample.sum);
+          Json bounds = Json::Array();
+          for (double edge : sample.bounds) bounds.Append(edge);
+          s.Set("bounds", std::move(bounds));
+          Json buckets = Json::Array();
+          for (uint64_t c : sample.buckets) buckets.Append(c);
+          s.Set("buckets", std::move(buckets));
+          break;
+        }
+      }
+      samples.Append(std::move(s));
+    }
+    f.Set("samples", std::move(samples));
+    families.Append(std::move(f));
+  }
+  root.Set("families", std::move(families));
+  return root;
+}
+
+Status SnapshotFromJson(const Json& json, MetricsSnapshot* out) {
+  *out = MetricsSnapshot();
+  if (json.type() != Json::Type::kObject) {
+    return Status::Error("metrics snapshot is not an object");
+  }
+  const Json* families = json.Find("families");
+  if (families == nullptr || families->type() != Json::Type::kArray) {
+    return Status::Error("metrics snapshot has no 'families' array");
+  }
+  for (const Json& f : families->items()) {
+    if (f.type() != Json::Type::kObject) {
+      return Status::Error("metrics family is not an object");
+    }
+    FamilySnapshot family;
+    const Json* name = f.Find("name");
+    const Json* type = f.Find("type");
+    const Json* help = f.Find("help");
+    if (name == nullptr || name->type() != Json::Type::kString ||
+        type == nullptr || type->type() != Json::Type::kString ||
+        help == nullptr || help->type() != Json::Type::kString) {
+      return Status::Error("metrics family missing name/type/help");
+    }
+    family.name = name->string_value();
+    family.help = help->string_value();
+    if (!ParseType(type->string_value(), &family.type)) {
+      return Status::Error("unknown metric type '" + type->string_value() +
+                           "'");
+    }
+    if (const Json* label_key = f.Find("label_key")) {
+      if (label_key->type() != Json::Type::kString) {
+        return Status::Error("metrics family label_key is not a string");
+      }
+      family.label_key = label_key->string_value();
+    }
+    const Json* samples = f.Find("samples");
+    if (samples == nullptr || samples->type() != Json::Type::kArray) {
+      return Status::Error("metrics family '" + family.name +
+                           "' has no samples array");
+    }
+    for (const Json& s : samples->items()) {
+      if (s.type() != Json::Type::kObject) {
+        return Status::Error("metrics sample is not an object");
+      }
+      SampleSnapshot sample;
+      if (const Json* label = s.Find("label")) {
+        if (label->type() != Json::Type::kString) {
+          return Status::Error("metrics sample label is not a string");
+        }
+        sample.label_value = label->string_value();
+      }
+      switch (family.type) {
+        case MetricType::kCounter: {
+          const Json* value = s.Find("value");
+          if (value == nullptr || !value->is_number()) {
+            return Status::Error("counter sample has no numeric value");
+          }
+          sample.counter = value->uint_value();
+          break;
+        }
+        case MetricType::kGauge: {
+          const Json* value = s.Find("value");
+          if (value == nullptr || !value->is_number()) {
+            return Status::Error("gauge sample has no numeric value");
+          }
+          sample.gauge = value->int_value();
+          break;
+        }
+        case MetricType::kHistogram: {
+          const Json* count = s.Find("count");
+          const Json* sum = s.Find("sum");
+          const Json* bounds = s.Find("bounds");
+          const Json* buckets = s.Find("buckets");
+          if (count == nullptr || !count->is_number() || sum == nullptr ||
+              !sum->is_number() || bounds == nullptr ||
+              bounds->type() != Json::Type::kArray || buckets == nullptr ||
+              buckets->type() != Json::Type::kArray ||
+              buckets->size() != bounds->size() + 1) {
+            return Status::Error("malformed histogram sample in '" +
+                                 family.name + "'");
+          }
+          sample.count = count->uint_value();
+          sample.sum = sum->double_value();
+          for (const Json& edge : bounds->items()) {
+            if (!edge.is_number()) {
+              return Status::Error("histogram bound is not a number");
+            }
+            sample.bounds.push_back(edge.double_value());
+          }
+          for (const Json& c : buckets->items()) {
+            if (!c.is_number()) {
+              return Status::Error("histogram bucket is not a number");
+            }
+            sample.buckets.push_back(c.uint_value());
+          }
+          break;
+        }
+      }
+      family.samples.push_back(std::move(sample));
+    }
+    out->families.push_back(std::move(family));
+  }
+  return Status::Ok();
+}
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char line[256];
+  auto label = [](const FamilySnapshot& family, const SampleSnapshot& sample,
+                  const char* extra_key = nullptr,
+                  const std::string& extra_value = "") {
+    std::string s;
+    if (!family.label_key.empty() || extra_key != nullptr) {
+      s += '{';
+      if (!family.label_key.empty()) {
+        s += family.label_key + "=\"" + sample.label_value + "\"";
+      }
+      if (extra_key != nullptr) {
+        if (!family.label_key.empty()) s += ',';
+        s += std::string(extra_key) + "=\"" + extra_value + "\"";
+      }
+      s += '}';
+    }
+    return s;
+  };
+  for (const FamilySnapshot& family : snapshot.families) {
+    out += "# HELP " + family.name + " " + family.help + "\n";
+    out += "# TYPE " + family.name + " " + TypeName(family.type) + "\n";
+    for (const SampleSnapshot& sample : family.samples) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          std::snprintf(line, sizeof(line), " %" PRIu64 "\n", sample.counter);
+          out += family.name + label(family, sample) + line;
+          break;
+        case MetricType::kGauge:
+          std::snprintf(line, sizeof(line), " %" PRId64 "\n", sample.gauge);
+          out += family.name + label(family, sample) + line;
+          break;
+        case MetricType::kHistogram: {
+          // Prometheus buckets are cumulative with an explicit +Inf edge.
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < sample.buckets.size(); ++i) {
+            cumulative += sample.buckets[i];
+            const std::string edge = i < sample.bounds.size()
+                                         ? FormatEdge(sample.bounds[i])
+                                         : std::string("+Inf");
+            std::snprintf(line, sizeof(line), " %" PRIu64 "\n", cumulative);
+            out += family.name + "_bucket" +
+                   label(family, sample, "le", edge) + line;
+          }
+          std::snprintf(line, sizeof(line), " %.17g\n", sample.sum);
+          out += family.name + "_sum" + label(family, sample) + line;
+          std::snprintf(line, sizeof(line), " %" PRIu64 "\n", sample.count);
+          out += family.name + "_count" + label(family, sample) + line;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sablock::obs

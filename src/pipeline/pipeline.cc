@@ -3,9 +3,65 @@
 #include <utility>
 
 #include "api/registry.h"
+#include "obs/metrics.h"
 #include "pipeline/stage_registry.h"
 
 namespace sablock::pipeline {
+
+namespace {
+
+/// The interposed per-stage counting layer: sits downstream of one
+/// cloned stage and feeds the process-wide stage families. Counters are
+/// resolved once per chain instantiation (one registry lock per run, not
+/// per block); the per-block cost is three relaxed atomic adds. Labeled
+/// by the stage's registry spec name so all instances of a stage kind
+/// aggregate into one low-cardinality series.
+class StageObserver : public core::BlockSink {
+ public:
+  StageObserver(core::BlockSink& next, const std::string& stage_name)
+      : next_(&next) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    blocks_ = registry.GetCounter(
+        "blocks_emitted", "blocks emitted per pipeline stage", "stage",
+        stage_name);
+    comparisons_ = registry.GetCounter(
+        "comparisons_emitted",
+        "pairwise comparisons (sum |b|(|b|-1)/2) emitted per pipeline stage",
+        "stage", stage_name);
+    block_size_ = registry.GetHistogram(
+        "block_size", "emitted block-size distribution per pipeline stage",
+        SizeBuckets(), "stage", stage_name);
+  }
+
+  void Consume(core::Block block) override {
+    const uint64_t n = block.size();
+    blocks_->Add(1);
+    comparisons_->Add(n * (n - 1) / 2);
+    block_size_->Observe(static_cast<double>(n));
+    next_->Consume(std::move(block));
+  }
+
+  bool Done() const override { return next_->Done(); }
+  void Flush() override { next_->Flush(); }
+
+ private:
+  /// Block-size edges: powers of 4 from 2 to 2^17 — resolution where
+  /// purge/meta decisions happen, one overflow bucket for the monsters.
+  static std::vector<double> SizeBuckets() {
+    std::vector<double> bounds;
+    for (double edge = 2.0; edge <= 131072.0; edge *= 4.0) {
+      bounds.push_back(edge);
+    }
+    return bounds;
+  }
+
+  core::BlockSink* next_;
+  obs::Counter* blocks_;
+  obs::Counter* comparisons_;
+  obs::Histogram* block_size_;
+};
+
+}  // namespace
 
 std::string Pipeline::name() const {
   std::string out;
@@ -17,17 +73,23 @@ std::string Pipeline::name() const {
 }
 
 Chain Pipeline::Instantiate(const data::Dataset& dataset,
-                            core::BlockSink& sink) const {
+                            core::BlockSink& sink,
+                            obs::TraceId trace) const {
   Chain chain;
+  chain.trace_ = trace == 0 ? obs::NextTraceId() : trace;
+  chain.span_ = std::make_unique<obs::ObsSpan>("pipeline.run", chain.trace_);
   chain.boundary_ = std::make_unique<Chain::Boundary>(sink);
   chain.stages_.reserve(stages_.size());
   for (const auto& stage : stages_) chain.stages_.push_back(stage->Clone());
   // Wire back-to-front: the last stage forwards into the flush-absorbing
   // boundary in front of the caller's sink, every earlier stage into its
-  // successor.
+  // successor — with a counting observer interposed downstream of every
+  // stage so each stage's output stream is measured.
   core::BlockSink* next = chain.boundary_.get();
   for (auto it = chain.stages_.rbegin(); it != chain.stages_.rend(); ++it) {
-    (*it)->Attach(dataset, *next);
+    auto observer = std::make_unique<StageObserver>(*next, (*it)->spec_name());
+    (*it)->Attach(dataset, *observer);
+    chain.observers_.push_back(std::move(observer));
     next = it->get();
   }
   chain.head_ = next;
@@ -35,9 +97,9 @@ Chain Pipeline::Instantiate(const data::Dataset& dataset,
 }
 
 void Pipeline::Run(const core::BlockingTechnique& technique,
-                   const data::Dataset& dataset,
-                   core::BlockSink& sink) const {
-  Chain chain = Instantiate(dataset, sink);
+                   const data::Dataset& dataset, core::BlockSink& sink,
+                   obs::TraceId trace) const {
+  Chain chain = Instantiate(dataset, sink, trace);
   technique.Run(dataset, chain.head());
   chain.Flush();
 }

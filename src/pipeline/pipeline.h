@@ -8,6 +8,7 @@
 #include "api/pipeline_spec.h"
 #include "common/status.h"
 #include "core/blocking.h"
+#include "obs/span.h"
 #include "pipeline/stage.h"
 
 namespace sablock::pipeline {
@@ -23,6 +24,13 @@ namespace sablock::pipeline {
 /// invoked. Flush ownership does not cross an ownership boundary — so a
 /// PipelinedBlocker running one chain per record shard cannot fire an
 /// outer shared barrier stage once per shard.
+///
+/// Every stage is instrumented through an interposed counting sink: what
+/// a stage emits feeds the process-wide `blocks_emitted{stage=...}` /
+/// `comparisons_emitted{stage=...}` counters and the per-stage
+/// block-size histogram, labeled by the stage's registry spec name. The
+/// chain's trace id (minted by the runner, or threaded in from a serving
+/// request) tags the chain-lifetime `pipeline.run` span.
 class Chain {
  public:
   /// The sink the block producer writes into (the first stage, or the
@@ -30,7 +38,15 @@ class Chain {
   core::BlockSink& head() { return *head_; }
 
   /// Ends the stream: call exactly once, after the producer returns.
-  void Flush() { head_->Flush(); }
+  /// Closes the chain's trace span.
+  void Flush() {
+    head_->Flush();
+    span_.reset();
+  }
+
+  /// The trace id every span and stage observation of this chain run
+  /// carries (0 when instantiated untraced).
+  obs::TraceId trace() const { return trace_; }
 
  private:
   friend class Pipeline;
@@ -50,8 +66,13 @@ class Chain {
   };
 
   std::vector<std::unique_ptr<PipelineStage>> stages_;
+  /// One counting interposer downstream of each stage (wiring order, so
+  /// observers_[i] measures what stages_[i] emits).
+  std::vector<std::unique_ptr<core::BlockSink>> observers_;
   std::unique_ptr<Boundary> boundary_;
   core::BlockSink* head_ = nullptr;
+  obs::TraceId trace_ = 0;
+  std::unique_ptr<obs::ObsSpan> span_;  // chain lifetime (until Flush)
 };
 
 /// An ordered sequence of prototype stages. The pipeline itself holds no
@@ -78,13 +99,16 @@ class Pipeline {
   /// " | "-joined stage names, e.g. "purge(max_size=500) | meta(WEP+CBS)".
   std::string name() const;
 
-  /// Clones the stages into a chain emitting into `sink`.
-  Chain Instantiate(const data::Dataset& dataset,
-                    core::BlockSink& sink) const;
+  /// Clones the stages into a chain emitting into `sink`. `trace` tags
+  /// the chain's span and stage observations; 0 mints a fresh id (pass a
+  /// request's id to thread serving-path traces through the chain).
+  Chain Instantiate(const data::Dataset& dataset, core::BlockSink& sink,
+                    obs::TraceId trace = 0) const;
 
   /// Runs `technique` through a fresh chain into `sink` and flushes.
   void Run(const core::BlockingTechnique& technique,
-           const data::Dataset& dataset, core::BlockSink& sink) const;
+           const data::Dataset& dataset, core::BlockSink& sink,
+           obs::TraceId trace = 0) const;
 
  private:
   std::vector<std::unique_ptr<PipelineStage>> stages_;

@@ -1,7 +1,10 @@
 #include "report/run_result.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
+
+#include "obs/export.h"
 
 namespace sablock::report {
 
@@ -23,9 +26,13 @@ LatencyStats SummarizeLatency(std::vector<double> op_seconds,
   if (op_seconds.empty()) return stats;
   std::sort(op_seconds.begin(), op_seconds.end());
   stats.ops = op_seconds.size();
+  // Nearest rank: the ceil(p*N)-th smallest sample, clamped so p=0 and
+  // p=1 stay in range. For N=1 every percentile is the lone sample (the
+  // pre-fix interpolation indexed off the end of degenerate windows).
   auto rank = [&](double p) {
-    size_t idx = static_cast<size_t>(p * static_cast<double>(
-                                             op_seconds.size() - 1));
+    double r = std::ceil(p * static_cast<double>(op_seconds.size()));
+    size_t idx = r < 1.0 ? 0 : static_cast<size_t>(r) - 1;
+    idx = std::min(idx, op_seconds.size() - 1);
     return op_seconds[idx] * 1e6;
   };
   stats.p50_us = rank(0.50);
@@ -240,6 +247,9 @@ Json ToJson(const SuiteResult& suite) {
   Json runs = Json::Array();
   for (const RunResult& run : suite.runs) runs.Append(ToJson(run));
   j.Set("runs", std::move(runs));
+  if (suite.has_metrics_snapshot) {
+    j.Set("metrics", obs::SnapshotToJson(suite.metrics_snapshot));
+  }
   return j;
 }
 
@@ -335,6 +345,11 @@ Status SuiteResultFromJson(const Json& json, SuiteResult* out) {
     RunResult run;
     SABLOCK_RETURN_IF_ERROR(RunResultFromJson(entry, &run));
     out->runs.push_back(std::move(run));
+  }
+  if (const Json* metrics = json.Find("metrics")) {
+    SABLOCK_RETURN_IF_ERROR(
+        obs::SnapshotFromJson(*metrics, &out->metrics_snapshot));
+    out->has_metrics_snapshot = true;
   }
   return Status::Ok();
 }

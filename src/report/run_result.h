@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 #include "report/json.h"
 
 namespace sablock::report {
@@ -15,7 +16,9 @@ namespace sablock::report {
 /// Written to every suite JSON so downstream tooling (tools/
 /// bench_compare.py, CI trend jobs) can reject files it does not
 /// understand. Bump on any backwards-incompatible key change.
-inline constexpr int kSchemaVersion = 1;
+/// v2: suites carry an optional suite-level `metrics` object — the
+/// process's obs::MetricsSnapshot (see obs/export.h for the shape).
+inline constexpr int kSchemaVersion = 2;
 
 /// Wall-time statistics over a run's timing repetitions (seconds). For
 /// micro-benchmarks the same shape carries seconds *per operation*.
@@ -41,8 +44,10 @@ struct LatencyStats {
 };
 
 /// Computes LatencyStats from raw per-operation seconds and the total
-/// wall time of the measured phase (empty input yields a zeroed struct).
-/// Percentiles use the nearest-rank method.
+/// wall time of the measured phase. Percentiles use the nearest-rank
+/// method (ceil(p*N)-th smallest). Degenerate windows are well-defined:
+/// empty input yields a zeroed struct, a single sample is every
+/// percentile, and a non-positive wall time leaves qps at 0.
 LatencyStats SummarizeLatency(std::vector<double> op_seconds,
                               double wall_seconds);
 
@@ -102,6 +107,11 @@ struct SuiteResult {
   int repeat = 1;
   std::vector<ScenarioOutcome> scenarios;
   std::vector<RunResult> runs;
+  /// Process-wide metrics snapshot taken after all scenarios ran
+  /// (suite-level `metrics` key, schema v2; optional — absent when the
+  /// producer predates it or stripped it).
+  bool has_metrics_snapshot = false;
+  obs::MetricsSnapshot metrics_snapshot;
 };
 
 /// JSON (de)serialization. FromJson validates shape and schema_version

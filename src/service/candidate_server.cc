@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/timer.h"
+#include "obs/export.h"
+#include "obs/span.h"
 
 namespace sablock::service {
 
@@ -20,6 +23,43 @@ std::string ErrorResponse(std::string_view message) {
   w.U8(kStatusError);
   w.Str(message);
   return w.bytes();
+}
+
+/// Per-op request counter + latency histogram, one pair per wire verb
+/// (plus a bucket for garbage opcodes). Resolved on first use, then the
+/// dispatch path only touches atomics.
+struct OpMetrics {
+  obs::Counter* requests;
+  obs::Histogram* seconds;
+
+  explicit OpMetrics(const char* op_name) {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    requests = registry.GetCounter(
+        "service_requests", "requests handled by the candidate server", "op",
+        op_name);
+    seconds = registry.GetHistogram(
+        "service_request_seconds", "candidate-server request handling time",
+        obs::Histogram::LatencyBuckets(), "op", op_name);
+  }
+};
+
+OpMetrics& MetricsFor(uint8_t op) {
+  static OpMetrics& insert = *new OpMetrics("insert");
+  static OpMetrics& query = *new OpMetrics("query");
+  static OpMetrics& batch_query = *new OpMetrics("batch_query");
+  static OpMetrics& stats = *new OpMetrics("stats");
+  static OpMetrics& remove = *new OpMetrics("remove");
+  static OpMetrics& metrics = *new OpMetrics("metrics");
+  static OpMetrics& unknown = *new OpMetrics("unknown");
+  switch (static_cast<Op>(op)) {
+    case Op::kInsert: return insert;
+    case Op::kQuery: return query;
+    case Op::kBatchQuery: return batch_query;
+    case Op::kStats: return stats;
+    case Op::kRemove: return remove;
+    case Op::kMetrics: return metrics;
+  }
+  return unknown;
 }
 
 /// Reads one schema-aligned value list; false (with an untouched reader
@@ -47,6 +87,9 @@ CandidateServer::CandidateServer(CandidateService* service,
                                  std::string socket_path, int num_threads)
     : service_(service),
       socket_path_(std::move(socket_path)),
+      inflight_(obs::MetricsRegistry::Global().GetGauge(
+          "service_inflight_requests",
+          "requests currently being handled by the candidate server")),
       pool_(num_threads) {
   SABLOCK_CHECK(service_ != nullptr);
 }
@@ -90,9 +133,11 @@ void CandidateServer::Stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   {
-    // Connection workers exit when their recv fails.
+    // Drain, don't sever: shutting down only the read side makes each
+    // connection's next ReadFrame see EOF, while a response the worker is
+    // mid-writing for an in-flight request still reaches the client.
     std::lock_guard<std::mutex> lock(conn_mu_);
-    for (int fd : connections_) ::shutdown(fd, SHUT_RDWR);
+    for (int fd : connections_) ::shutdown(fd, SHUT_RD);
   }
   pool_.Wait();
   ::unlink(socket_path_.c_str());
@@ -116,7 +161,10 @@ void CandidateServer::AcceptLoop() {
 void CandidateServer::ServeConnection(int fd) {
   std::string request;
   while (ReadFrame(fd, &request)) {
-    if (!WriteFrame(fd, Handle(request))) break;
+    inflight_->Add(1);
+    std::string response = Handle(request);
+    inflight_->Sub(1);
+    if (!WriteFrame(fd, response)) break;
   }
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
@@ -127,12 +175,22 @@ void CandidateServer::ServeConnection(int fd) {
 
 std::string CandidateServer::Handle(std::string_view request) const {
   WireReader r(request);
-  const uint8_t op = r.U8();
+  uint8_t op = r.U8();
   if (!r.ok()) return ErrorResponse("empty request");
+  obs::TraceId trace = 0;
+  if (op & kTracedOpBit) {
+    op &= static_cast<uint8_t>(~kTracedOpBit);
+    trace = r.U64();
+    if (!r.ok()) return ErrorResponse("traced request without trace id");
+  }
+  obs::ObsSpan span("service.request", trace);
+  OpMetrics& op_metrics = MetricsFor(op);
+  WallTimer timer;
   const size_t arity = service_->schema().size();
   std::vector<std::string_view> values;
   WireWriter w;
 
+  std::string response = [&]() -> std::string {
   switch (static_cast<Op>(op)) {
     case Op::kInsert: {
       if (!ReadValueList(r, arity, &values) || !r.Finished()) {
@@ -186,8 +244,19 @@ std::string CandidateServer::Handle(std::string_view request) const {
       w.U8(removed ? 1 : 0);
       return w.bytes();
     }
+    case Op::kMetrics: {
+      if (!r.Finished()) return ErrorResponse("trailing metrics bytes");
+      w.U8(kStatusOk);
+      w.Str(obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot()));
+      return w.bytes();
+    }
   }
   return ErrorResponse("unknown opcode " + std::to_string(op));
+  }();
+
+  op_metrics.seconds->Observe(timer.Seconds());
+  op_metrics.requests->Add(1);
+  return response;
 }
 
 }  // namespace sablock::service

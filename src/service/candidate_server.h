@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "engine/thread_pool.h"
+#include "obs/metrics.h"
 #include "service/candidate_service.h"
 #include "service/protocol.h"
 
@@ -36,8 +37,10 @@ class CandidateServer {
   /// starts the accept thread.
   Status Start();
 
-  /// Shuts down the listener and every open connection, then joins all
-  /// threads and unlinks the socket file. Idempotent.
+  /// Shuts down the listener, drains open connections (in-flight
+  /// requests finish and their responses are written; only the read side
+  /// is shut down), then joins all threads and unlinks the socket file.
+  /// Idempotent.
   void Stop();
 
   const std::string& socket_path() const { return socket_path_; }
@@ -50,6 +53,7 @@ class CandidateServer {
 
   CandidateService* service_;  // not owned
   std::string socket_path_;
+  obs::Gauge* inflight_;  // requests currently being handled
   engine::ThreadPool pool_;
   int listen_fd_ = -1;
   std::thread accept_thread_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/timer.h"
 #include "index/index_registry.h"
 
 namespace sablock::service {
@@ -23,17 +24,27 @@ Status CandidateService::Make(data::Schema schema,
 
 CandidateService::CandidateService(
     data::Schema schema, std::unique_ptr<index::IncrementalIndex> idx)
-    : schema_(schema), dataset_(std::move(schema)), index_(std::move(idx)) {}
+    : schema_(schema), dataset_(std::move(schema)), index_(std::move(idx)) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  insert_seconds_ = registry.GetHistogram(
+      "index_insert_seconds", "incremental-index insert latency (lock held)",
+      obs::Histogram::LatencyBuckets(), "index", index_->name());
+  query_seconds_ = registry.GetHistogram(
+      "index_query_seconds", "incremental-index query latency (lock held)",
+      obs::Histogram::LatencyBuckets(), "index", index_->name());
+}
 
 data::RecordId CandidateService::Insert(
     std::span<const std::string_view> values) {
   SABLOCK_CHECK_MSG(values.size() == schema_.size(),
                     "value count does not match the schema");
   std::unique_lock lock(mu_);
+  WallTimer timer;
   data::RecordId id = dataset_.AddRow(values);
   // Index the arena-backed copy, not the caller's views: index-internal
   // state must not outlive the caller's buffers.
   index_->Insert(id, dataset_.Values(id));
+  insert_seconds_->Observe(timer.Seconds());
   inserts_.fetch_add(1, std::memory_order_relaxed);
   return id;
 }
@@ -44,7 +55,10 @@ std::vector<data::RecordId> CandidateService::Query(
                     "value count does not match the schema");
   std::shared_lock lock(mu_);
   queries_.fetch_add(1, std::memory_order_relaxed);
-  return index_->Query(values);
+  WallTimer timer;
+  std::vector<data::RecordId> ids = index_->Query(values);
+  query_seconds_->Observe(timer.Seconds());
+  return ids;
 }
 
 bool CandidateService::Remove(data::RecordId id) {

@@ -13,6 +13,7 @@
 #include "core/block_sink.h"
 #include "data/record.h"
 #include "index/incremental_index.h"
+#include "obs/metrics.h"
 #include "service/protocol.h"
 
 namespace sablock::service {
@@ -59,6 +60,10 @@ class CandidateService {
   std::atomic<uint64_t> inserts_{0};
   mutable std::atomic<uint64_t> queries_{0};  // counted in const Query
   std::atomic<uint64_t> removes_{0};
+  // Per-index latency families, labeled by the bound index's name and
+  // resolved once at construction (registry pointers are stable).
+  obs::Histogram* insert_seconds_;
+  obs::Histogram* query_seconds_;
 };
 
 }  // namespace sablock::service

@@ -71,6 +71,16 @@ Status CandidateClient::Connect(const std::string& socket_path,
   return Status::Ok();
 }
 
+void CandidateClient::BeginRequest(Op op, WireWriter* w) {
+  if (!tracing_) {
+    w->U8(static_cast<uint8_t>(op));
+    return;
+  }
+  last_trace_ = obs::NextTraceId();
+  w->U8(static_cast<uint8_t>(op) | kTracedOpBit);
+  w->U64(last_trace_);
+}
+
 Status CandidateClient::Call(const WireWriter& request,
                              std::string* response) {
   if (fd_ < 0) return Status::Error("client not connected");
@@ -97,7 +107,7 @@ static Status CheckResponse(WireReader& r) {
 Status CandidateClient::Insert(std::span<const std::string_view> values,
                                data::RecordId* id) {
   WireWriter w;
-  w.U8(static_cast<uint8_t>(Op::kInsert));
+  BeginRequest(Op::kInsert, &w);
   AppendValueList(values, &w);
   std::string response;
   Status s = Call(w, &response);
@@ -113,7 +123,7 @@ Status CandidateClient::Insert(std::span<const std::string_view> values,
 Status CandidateClient::Query(std::span<const std::string_view> values,
                               std::vector<data::RecordId>* candidates) {
   WireWriter w;
-  w.U8(static_cast<uint8_t>(Op::kQuery));
+  BeginRequest(Op::kQuery, &w);
   AppendValueList(values, &w);
   std::string response;
   Status s = Call(w, &response);
@@ -131,7 +141,7 @@ Status CandidateClient::BatchQuery(
     const std::vector<std::vector<std::string>>& probes,
     std::vector<std::vector<data::RecordId>>* candidates) {
   WireWriter w;
-  w.U8(static_cast<uint8_t>(Op::kBatchQuery));
+  BeginRequest(Op::kBatchQuery, &w);
   w.U32(static_cast<uint32_t>(probes.size()));
   for (const std::vector<std::string>& probe : probes) {
     w.U32(static_cast<uint32_t>(probe.size()));
@@ -158,7 +168,7 @@ Status CandidateClient::BatchQuery(
 
 Status CandidateClient::Remove(data::RecordId id, bool* removed) {
   WireWriter w;
-  w.U8(static_cast<uint8_t>(Op::kRemove));
+  BeginRequest(Op::kRemove, &w);
   w.U32(id);
   std::string response;
   Status s = Call(w, &response);
@@ -173,7 +183,7 @@ Status CandidateClient::Remove(data::RecordId id, bool* removed) {
 
 Status CandidateClient::Stats(ServiceStats* stats) {
   WireWriter w;
-  w.U8(static_cast<uint8_t>(Op::kStats));
+  BeginRequest(Op::kStats, &w);
   std::string response;
   Status s = Call(w, &response);
   if (!s.ok()) return s;
@@ -186,6 +196,20 @@ Status CandidateClient::Stats(ServiceStats* stats) {
   stats->removes = r.U64();
   stats->index_name = std::string(r.Str());
   if (!r.Finished()) return Status::Error("malformed stats response");
+  return Status::Ok();
+}
+
+Status CandidateClient::Metrics(std::string* text) {
+  WireWriter w;
+  BeginRequest(Op::kMetrics, &w);
+  std::string response;
+  Status s = Call(w, &response);
+  if (!s.ok()) return s;
+  WireReader r(response);
+  s = CheckResponse(r);
+  if (!s.ok()) return s;
+  *text = std::string(r.Str());
+  if (!r.Finished()) return Status::Error("malformed metrics response");
   return Status::Ok();
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "data/record.h"
+#include "obs/span.h"
 #include "service/protocol.h"
 
 namespace sablock::service {
@@ -50,12 +51,28 @@ class CandidateClient {
 
   Status Stats(ServiceStats* stats);
 
+  /// The server process's metrics snapshot in Prometheus text format.
+  Status Metrics(std::string* text);
+
+  /// When on, every request carries a fresh trace id (kTracedOpBit), so
+  /// the server's spans for it are correlatable via last_trace_id().
+  /// Off by default — traced opcodes are rejected by pre-tracing servers.
+  void EnableTracing(bool on) { tracing_ = on; }
+
+  /// Trace id stamped on the most recent traced request (0 before one).
+  obs::TraceId last_trace_id() const { return last_trace_; }
+
  private:
+  /// Writes the opcode (with the trace prefix when tracing) into `w`.
+  void BeginRequest(Op op, WireWriter* w);
+
   /// One request/response round trip; decodes an error response into the
   /// returned status and leaves `*reader` positioned after the ok byte.
   Status Call(const WireWriter& request, std::string* response);
 
   int fd_ = -1;
+  bool tracing_ = false;
+  obs::TraceId last_trace_ = 0;
 };
 
 }  // namespace sablock::service

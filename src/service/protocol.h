@@ -19,6 +19,12 @@ namespace sablock::service {
 /// attribute values are uint32-length-prefixed byte strings. Record-id
 /// lists are a uint32 count followed by that many uint32 ids.
 ///
+/// Tracing: a request whose opcode byte has kTracedOpBit set carries a
+/// uint64 trace id between the opcode and the body. The server tags the
+/// request's obs spans with it, so one id correlates client-side timing
+/// with the server's span timeline. Untraced requests (bit clear) are
+/// unchanged — old clients keep working.
+///
 /// Bodies (request -> ok-response):
 ///   kInsert:     value list            -> uint32 assigned record id
 ///   kQuery:      value list            -> record-id list
@@ -26,17 +32,22 @@ namespace sablock::service {
 ///   kStats:      (empty)               -> uint64 records, inserts,
 ///                                         queries, removes; index name
 ///   kRemove:     uint32 record id      -> uint8 removed (0/1)
-///
-/// A value list is a uint32 count followed by count length-prefixed
-/// values, aligned with the server's schema. An error response carries a
-/// length-prefixed message.
+///   kMetrics:    (empty)               -> string: the server process's
+///                                         metrics snapshot in Prometheus
+///                                         text exposition format (the
+///                                         "STATS" verb of the CLI)
 enum class Op : uint8_t {
   kInsert = 1,
   kQuery = 2,
   kBatchQuery = 3,
   kStats = 4,
   kRemove = 5,
+  kMetrics = 6,
 };
+
+/// Opcode flag marking a traced request (uint64 trace id follows the
+/// opcode byte). The low 7 bits remain the Op.
+inline constexpr uint8_t kTracedOpBit = 0x80;
 
 /// Response status codes.
 inline constexpr uint8_t kStatusOk = 0;

@@ -97,8 +97,28 @@ TEST_F(ReportGoldenTest, KeysAreStable) {
 
   ExpectKeyOrder(suite,
                  {"tool", "schema_version", "quick", "repeat", "scenarios",
-                  "runs"},
+                  "runs", "metrics"},
                  "suite");
+
+  // Schema v2: the suite-level metrics snapshot is present and carries
+  // at least one family (the bench run itself touches instrumented
+  // seams), each with stable keys.
+  const Json* snapshot = suite.Find("metrics");
+  ASSERT_NE(snapshot, nullptr);
+  const Json* families = snapshot->Find("families");
+  ASSERT_NE(families, nullptr);
+  ASSERT_GT(families->size(), 0u);
+  for (const Json& family : families->items()) {
+    ExpectKeyOrder(family, {"name", "type", "help", "label_key", "samples"},
+                   "metrics family");
+    const Json* samples = family.Find("samples");
+    ASSERT_NE(samples, nullptr);
+    for (const Json& sample : samples->items()) {
+      ExpectKeyOrder(sample,
+                     {"label", "value", "count", "sum", "bounds", "buckets"},
+                     "metrics sample");
+    }
+  }
 
   const Json* runs = suite.Find("runs");
   ASSERT_NE(runs, nullptr);

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "gtest/gtest.h"
+#include "obs/metrics.h"
 #include "report/json.h"
 #include "report/run_result.h"
 
@@ -228,9 +229,9 @@ TEST(RunResultTest, OptionalSectionsOmitted) {
 }
 
 TEST(LatencyStatsTest, SummarizeNearestRank) {
-  // 100 ops at 1..100 microseconds over a 0.01s wall: p50 is the 50th
-  // value (nearest-rank over the sorted list), p99 the 100th... index
-  // p*(n-1): p50 -> idx 49 (50us), p99 -> idx 98 (99us).
+  // 100 ops at 1..100 microseconds over a 0.01s wall: nearest rank is
+  // the ceil(p*N)-th smallest value — p50 -> 50th (50us), p99 -> 99th
+  // (99us).
   std::vector<double> ops;
   for (int i = 100; i >= 1; --i) ops.push_back(i * 1e-6);
   LatencyStats s = SummarizeLatency(std::move(ops), 0.01);
@@ -246,6 +247,27 @@ TEST(LatencyStatsTest, SummarizeNearestRank) {
   LatencyStats zero_wall = SummarizeLatency({1e-6}, 0.0);
   EXPECT_EQ(zero_wall.ops, 1u);
   EXPECT_DOUBLE_EQ(zero_wall.qps, 0.0);  // no wall time, no rate
+}
+
+TEST(LatencyStatsTest, DegenerateWindowsAreWellDefined) {
+  // Empty window: every field is zero, nothing indexes into the samples.
+  LatencyStats empty = SummarizeLatency({}, 0.0);
+  EXPECT_EQ(empty.ops, 0u);
+  EXPECT_DOUBLE_EQ(empty.p50_us, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99_us, 0.0);
+  EXPECT_DOUBLE_EQ(empty.qps, 0.0);
+
+  // Single sample: it IS every percentile.
+  LatencyStats one = SummarizeLatency({7e-6}, 7e-6);
+  EXPECT_EQ(one.ops, 1u);
+  EXPECT_DOUBLE_EQ(one.p50_us, 7.0);
+  EXPECT_DOUBLE_EQ(one.p99_us, 7.0);
+
+  // Two samples: p50 is the 1st smallest (ceil(0.5*2) = 1), p99 the 2nd.
+  LatencyStats two = SummarizeLatency({3e-6, 1e-6}, 4e-6);
+  EXPECT_EQ(two.ops, 2u);
+  EXPECT_DOUBLE_EQ(two.p50_us, 1.0);
+  EXPECT_DOUBLE_EQ(two.p99_us, 3.0);
 }
 
 TEST(RunResultTest, FromJsonRejectsMissingName) {
@@ -283,6 +305,36 @@ TEST(SuiteResultTest, JsonRoundTrip) {
   EXPECT_EQ(back.scenarios[1].exit_code, 1);
   ASSERT_EQ(back.runs.size(), 1u);
   EXPECT_EQ(back.runs[0].name, suite.runs[0].name);
+  EXPECT_EQ(ToJson(back).Dump(2), text);
+}
+
+TEST(SuiteResultTest, MetricsSnapshotRoundTrip) {
+  // Schema v2: the optional suite-level metrics object survives the
+  // round trip byte-for-byte and restores the snapshot structs.
+  SuiteResult suite;
+  suite.runs.push_back(MakeRun());
+  obs::MetricsRegistry registry;
+  registry.GetCounter("obs_rt_hits", "hits", "column", "token")->Add(5);
+  registry.GetHistogram("obs_rt_seconds", "latency", {0.5, 2.0})
+      ->Observe(1.0);
+  suite.metrics_snapshot = registry.Snapshot();
+  suite.has_metrics_snapshot = true;
+
+  std::string text = ToJson(suite).Dump(2);
+  Json parsed;
+  ASSERT_TRUE(Json::Parse(text, &parsed).ok());
+  SuiteResult back;
+  Status status = SuiteResultFromJson(parsed, &back);
+  ASSERT_TRUE(status.ok()) << status.message();
+  ASSERT_TRUE(back.has_metrics_snapshot);
+  const obs::SampleSnapshot* hits =
+      back.metrics_snapshot.Find("obs_rt_hits", "token");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->counter, 5u);
+  const obs::SampleSnapshot* seconds =
+      back.metrics_snapshot.Find("obs_rt_seconds");
+  ASSERT_NE(seconds, nullptr);
+  EXPECT_EQ(seconds->count, 1u);
   EXPECT_EQ(ToJson(back).Dump(2), text);
 }
 

@@ -17,6 +17,7 @@
 #include "data/cora_generator.h"
 #include "index/incremental_index.h"
 #include "index/index_registry.h"
+#include "obs/span.h"
 #include "service/candidate_server.h"
 #include "service/candidate_service.h"
 #include "service/client.h"
@@ -163,6 +164,71 @@ TEST(CandidateServerTest, EndToEndOverSocket) {
   EXPECT_EQ(stats.inserts, 2u);
   EXPECT_EQ(stats.queries, 4u);  // 1 single + 3 batch probes
   EXPECT_EQ(stats.removes, 1u);  // only the successful removal counts
+
+  client.Close();
+  server.Stop();
+}
+
+TEST(CandidateServerTest, MetricsVerbReturnsPrometheusText) {
+  std::unique_ptr<CandidateService> service = MakeTokenService();
+  CandidateServer server(service.get(), TestSocketPath("metrics"), 2);
+  ASSERT_TRUE(server.Start().ok());
+
+  CandidateClient client;
+  ASSERT_TRUE(
+      CandidateClient::Connect(server.socket_path(), &client).ok());
+
+  // Touch the service so the per-op and per-index families exist.
+  std::vector<std::string> a = {"Alice Smith", "Berlin"};
+  data::RecordId id = 0;
+  ASSERT_TRUE(client.Insert(Row(a), &id).ok());
+  Ids candidates;
+  ASSERT_TRUE(client.Query(Row(a), &candidates).ok());
+
+  std::string text;
+  Status s = client.Metrics(&text);
+  ASSERT_TRUE(s.ok()) << s.message();
+  EXPECT_NE(text.find("# TYPE service_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("service_requests{op=\"insert\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE service_request_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE index_query_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("service_inflight_requests"), std::string::npos);
+
+  client.Close();
+  server.Stop();
+}
+
+TEST(CandidateServerTest, TracedRequestsCarryTheClientTraceId) {
+  std::unique_ptr<CandidateService> service = MakeTokenService();
+  CandidateServer server(service.get(), TestSocketPath("traced"), 2);
+  ASSERT_TRUE(server.Start().ok());
+
+  CandidateClient client;
+  ASSERT_TRUE(
+      CandidateClient::Connect(server.socket_path(), &client).ok());
+  client.EnableTracing(true);
+
+  std::vector<std::string> a = {"Alice Smith", "Berlin"};
+  data::RecordId id = 0;
+  ASSERT_TRUE(client.Insert(Row(a), &id).ok());
+  const obs::TraceId trace = client.last_trace_id();
+  EXPECT_NE(trace, 0u);
+
+  // The server recorded a `service.request` span under the client's id
+  // (same process here, so the global tracer is shared).
+  std::vector<obs::SpanRecord> spans =
+      obs::Tracer::Global().ForTrace(trace);
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.back().name, "service.request");
+
+  // Subsequent traced requests mint fresh ids on the same connection.
+  Ids candidates;
+  ASSERT_TRUE(client.Query(Row(a), &candidates).ok());
+  EXPECT_NE(client.last_trace_id(), trace);
 
   client.Close();
   server.Stop();

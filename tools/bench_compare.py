@@ -23,6 +23,17 @@ name).  For every matched pair the tool checks:
     Baselines with p99 below --min-latency-us (default 5 us, timer
     noise) skip both checks, mirroring the --min-seconds floor.  Exit 1.
 
+When both suites carry the suite-level `metrics` snapshot (schema v2),
+the snapshots are diffed too:
+
+  * every metric family present in the baseline must still exist in the
+    current suite (families may be added freely) — a vanished family
+    means an instrumented seam lost its telemetry.  Exit 1.
+  * the feature-cache hit rate (`featurestore_hits` /
+    (`featurestore_hits` + `featurestore_misses`), per column) may not
+    drift by more than --max-regression percent relative — a caching
+    behaviour change, not noise.  Exit 1.
+
 Runs present in only one file are reported; with --strict-runs they fail
 the comparison (exit 1), otherwise they are informational.  Zero matched
 runs always fails (exit 1): comparing disjoint suites gates nothing.
@@ -37,7 +48,7 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def fail_usage(message):
@@ -209,6 +220,71 @@ def compare_latency(key, baseline, current, args, problems, notes):
             )
 
 
+def counter_samples(families, name):
+    """Maps label -> value for one counter family ({} when absent)."""
+    for family in families:
+        if family.get("name") == name:
+            return {
+                s.get("label", ""): s.get("value", 0)
+                for s in family.get("samples", [])
+            }
+    return {}
+
+
+def compare_metrics_snapshots(baseline_suite, current_suite, args,
+                              problems, notes):
+    """Diffs the suite-level metrics snapshots (schema v2).
+
+    Family presence is one-directional: the current suite may add
+    families (new instrumentation lands all the time), but losing one the
+    baseline had means a seam went dark.
+    """
+    old_snap = baseline_suite.get("metrics")
+    new_snap = current_suite.get("metrics")
+    if old_snap is None or new_snap is None:
+        if old_snap is not None and new_snap is None:
+            problems.append(
+                "METRICS suite-level metrics snapshot disappeared"
+            )
+        return
+    old_families = old_snap.get("families", [])
+    new_families = new_snap.get("families", [])
+    new_names = {f.get("name") for f in new_families}
+    for family in old_families:
+        name = family.get("name")
+        if name not in new_names:
+            problems.append(
+                f"METRICS family '{name}' present in baseline but missing"
+                " in current"
+            )
+
+    old_hits = counter_samples(old_families, "featurestore_hits")
+    old_misses = counter_samples(old_families, "featurestore_misses")
+    new_hits = counter_samples(new_families, "featurestore_hits")
+    new_misses = counter_samples(new_families, "featurestore_misses")
+    for column in sorted(set(old_hits) & set(new_hits)):
+        old_total = old_hits.get(column, 0) + old_misses.get(column, 0)
+        new_total = new_hits.get(column, 0) + new_misses.get(column, 0)
+        if old_total == 0 or new_total == 0:
+            continue
+        old_rate = old_hits[column] / old_total
+        new_rate = new_hits[column] / new_total
+        if old_rate == 0:
+            continue
+        drift = 100.0 * abs(new_rate - old_rate) / old_rate
+        if drift > args.max_regression:
+            problems.append(
+                f"METRICS featurestore hit rate for column '{column}'"
+                f" drifted {drift:.1f}% ({old_rate:.3f} -> {new_rate:.3f},"
+                f" threshold {args.max_regression:.0f}%)"
+            )
+        elif drift > 0:
+            notes.append(
+                f"featurestore hit rate for column '{column}' moved"
+                f" {old_rate:.3f} -> {new_rate:.3f}"
+            )
+
+
 def main():
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
@@ -283,6 +359,10 @@ def main():
         )
     for key in matched:
         compare_runs(key, baseline[key], current[key], args, problems, notes)
+
+    compare_metrics_snapshots(
+        baseline_suite, current_suite, args, problems, notes
+    )
 
     for note in notes:
         print(f"note: {note}")

@@ -32,6 +32,8 @@
 #include "data/cora_generator.h"
 #include "data/voter_generator.h"
 #include "index/index_registry.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "service/candidate_server.h"
 #include "service/candidate_service.h"
 #include "service/client.h"
@@ -88,8 +90,11 @@ void PrintUsage() {
       "\n"
       "The server indexes records incrementally: an insert is visible to\n"
       "the next query, no batch rebuild. --preload inserts a generated\n"
-      "dataset before serving. The server runs until SIGINT/SIGTERM and\n"
-      "removes the socket file on shutdown.\n");
+      "dataset before serving. On SIGINT/SIGTERM the server drains\n"
+      "in-flight requests, dumps its final metrics snapshot to stderr\n"
+      "(Prometheus text format) and exits 0, removing the socket file.\n"
+      "--stats prints the request counters plus the server's live metrics\n"
+      "snapshot (the wire STATS/metrics verb) in the same format.\n");
 }
 
 void PrintIndexes() {
@@ -195,6 +200,13 @@ int RunClient(const Flags& flags) {
                 static_cast<unsigned long long>(stats.queries));
     std::printf("removes: %llu\n",
                 static_cast<unsigned long long>(stats.removes));
+    std::string prom;
+    s = client.Metrics(&prom);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::printf("\n%s", prom.c_str());
   }
   return 0;
 }
@@ -279,11 +291,16 @@ int RunServer(const Flags& flags) {
   std::printf("serving index '%s' on %s (%d worker thread(s))\n",
               index_spec.c_str(), socket_path.c_str(), threads);
 
-  // Block until SIGINT/SIGTERM, then shut down cleanly.
+  // Block until SIGINT/SIGTERM, then shut down cleanly: Stop() drains
+  // in-flight requests (their responses still reach clients) before the
+  // final metrics flush below, so the dump reflects every handled op.
   int sig = 0;
   sigwait(&set, &sig);
   std::printf("signal %d — shutting down\n", sig);
   server.Stop();
+  std::string prom = sablock::obs::ToPrometheusText(
+      sablock::obs::MetricsRegistry::Global().Snapshot());
+  std::fputs(prom.c_str(), stderr);
   return 0;
 }
 
