@@ -12,10 +12,15 @@
 
 #include <cstdio>
 #include <functional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "arch/arch.h"
 #include "bench_util.h"
+#include "common/flat_map.h"
+#include "common/hashing.h"
 #include "common/pair_set.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -99,8 +104,10 @@ int RunMicro(report::BenchContext& ctx) {
   const size_t voter_records = ctx.SizeOr("voter", 5000, 1000);
 
   std::printf("Micro-benchmarks (E11): substrate hot paths\n"
-              "(>= %.0f ms per measurement pass, best of %d passes)\n\n",
-              min_seconds * 1e3, ctx.repeat);
+              "(>= %.0f ms per measurement pass, best of %d passes)\n"
+              "kernel dispatch: %s\n\n",
+              min_seconds * 1e3, ctx.repeat,
+              arch::IsaName(arch::ActiveIsa()));
 
   MicroSuite suite(ctx, min_seconds);
 
@@ -117,6 +124,23 @@ int RunMicro(report::BenchContext& ctx) {
   suite.Case("qgram_hashes_q3", [] {
     DoNotOptimize(text::QGramHashes(kTitleA, 3));
   });
+  {
+    const std::string_view title = kTitleA;
+    std::vector<uint64_t> windows(title.size() - 2);
+    suite.Case("qgram_window_hashes_q3", [&] {
+      text::QGramWindowHashes(title, 3, windows);
+      DoNotOptimize(windows.data());
+    });
+  }
+  {
+    std::vector<uint64_t> mix_in(4096);
+    for (size_t i = 0; i < mix_in.size(); ++i) mix_in[i] = i * 11400714819323198485ULL;
+    std::vector<uint64_t> mix_out(mix_in.size());
+    suite.Case("mix64_batch_4k", [&] {
+      Mix64Batch(mix_in.data(), mix_in.size(), mix_out.data());
+      DoNotOptimize(mix_out.data());
+    });
+  }
 
   // --- minhash ----------------------------------------------------------
   const std::vector<uint64_t> shingles = text::QGramHashes(kTitleA, 3);
@@ -126,6 +150,16 @@ int RunMicro(report::BenchContext& ctx) {
                [&hasher, &shingles] {
                  DoNotOptimize(hasher.Signature(shingles));
                });
+  }
+  {
+    // The no-allocation column-build path: signature into a preallocated
+    // row, as FeatureStore::BuildSignatures drives it.
+    core::MinHasher hasher(252, 7);
+    std::vector<uint64_t> sig(252);
+    suite.Case("minhash_signature_into_h252", [&] {
+      hasher.SignatureInto(shingles, sig);
+      DoNotOptimize(sig.data());
+    });
   }
 
   // --- semantic machinery ----------------------------------------------
@@ -151,6 +185,43 @@ int RunMicro(report::BenchContext& ctx) {
     }
     DoNotOptimize(set.size());
   });
+
+  // --- meta-blocking edge accumulation (one op = 10k edge updates) -------
+  // The MetaPrune inner loop: accumulate (common_blocks, arcs) per pair
+  // key. The flat_map row is the shipped path; the unordered_map row is
+  // the node-based baseline it replaced, kept for comparison.
+  {
+    struct EdgeAccumulator {
+      uint32_t common_blocks = 0;
+      double arcs = 0.0;
+    };
+    // ~3.3k distinct pairs revisited ~3x, like overlapping blocks do.
+    std::vector<uint64_t> keys;
+    keys.reserve(10000);
+    for (uint32_t i = 0; i < 10000; ++i) {
+      uint32_t a = (i * 2654435761u) % 3331;
+      uint32_t b = a + 1 + (i % 13);
+      keys.push_back((static_cast<uint64_t>(a) << 32) | b);
+    }
+    suite.Case("meta_edge_accum_10k", [&] {
+      FlatMap<uint64_t, EdgeAccumulator> edges;
+      for (uint64_t key : keys) {
+        EdgeAccumulator& acc = edges[key];
+        ++acc.common_blocks;
+        acc.arcs += 0.125;
+      }
+      DoNotOptimize(edges.size());
+    });
+    suite.Case("meta_edge_accum_umap_10k", [&] {
+      std::unordered_map<uint64_t, EdgeAccumulator> edges;
+      for (uint64_t key : keys) {
+        EdgeAccumulator& acc = edges[key];
+        ++acc.common_blocks;
+        acc.arcs += 0.125;
+      }
+      DoNotOptimize(edges.size());
+    });
+  }
 
   // --- end-to-end block construction (one op = full cold build) ---------
   {

@@ -1,0 +1,111 @@
+#include "arch/arch.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "arch/kernels.h"
+#include "obs/metrics.h"
+
+namespace sablock::arch {
+
+namespace {
+
+const KernelTable* TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return ScalarKernelTable();
+    case Isa::kSse42: return Sse42KernelTable();
+    case Isa::kAvx2: return Avx2KernelTable();
+  }
+  return nullptr;
+}
+
+bool CpuSupports(Isa isa) {
+  if (isa == Isa::kScalar) return true;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  switch (isa) {
+    case Isa::kScalar: return true;
+    case Isa::kSse42: return __builtin_cpu_supports("sse4.2") != 0;
+    case Isa::kAvx2: return __builtin_cpu_supports("avx2") != 0;
+  }
+#endif
+  return false;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kSse42: return "sse42";
+    case Isa::kAvx2: return "avx2";
+  }
+  return "?";
+}
+
+bool ParseIsaName(std::string_view name, Isa* out) {
+  if (name == "scalar") { *out = Isa::kScalar; return true; }
+  if (name == "sse42") { *out = Isa::kSse42; return true; }
+  if (name == "avx2") { *out = Isa::kAvx2; return true; }
+  return false;
+}
+
+bool IsaCompiled(Isa isa) { return TableFor(isa) != nullptr; }
+
+bool IsaAvailable(Isa isa) { return IsaCompiled(isa) && CpuSupports(isa); }
+
+Isa BestAvailableIsa() {
+  if (IsaAvailable(Isa::kAvx2)) return Isa::kAvx2;
+  if (IsaAvailable(Isa::kSse42)) return Isa::kSse42;
+  return Isa::kScalar;
+}
+
+Isa ResolveIsa(const char* override_name) {
+  const Isa best = BestAvailableIsa();
+  if (override_name == nullptr || override_name[0] == '\0') return best;
+  Isa requested;
+  if (!ParseIsaName(override_name, &requested)) {
+    std::fprintf(stderr,
+                 "sablock: ignoring unknown SABLOCK_ISA=%s "
+                 "(expected scalar|sse42|avx2); using %s\n",
+                 override_name, IsaName(best));
+    return best;
+  }
+  if (!IsaAvailable(requested)) {
+    // Clamp down rather than abort: a CI matrix can export one value for
+    // every box and each degrades to what it can actually run.
+    const Isa clamped = requested < best ? requested : best;
+    std::fprintf(stderr,
+                 "sablock: SABLOCK_ISA=%s not available on this machine; "
+                 "using %s\n",
+                 override_name, IsaName(clamped));
+    return clamped;
+  }
+  return requested;
+}
+
+Isa ActiveIsa() {
+  static const Isa active = [] {
+    const Isa isa = ResolveIsa(std::getenv("SABLOCK_ISA"));
+    // Info metric: which kernel path produced every number this process
+    // reports. Rides the suite-level metrics snapshot into the bench
+    // JSON and the Prometheus dump.
+    obs::MetricsRegistry::Global()
+        .GetGauge("kernels_dispatch",
+                  "selected SIMD kernel ISA (value is always 1; the "
+                  "label carries the level)",
+                  "isa", IsaName(isa))
+        ->Set(1);
+    return isa;
+  }();
+  return active;
+}
+
+const KernelTable& KernelsFor(Isa isa) {
+  const KernelTable* table = TableFor(isa);
+  return table != nullptr ? *table : *ScalarKernelTable();
+}
+
+const KernelTable& ActiveKernels() { return KernelsFor(ActiveIsa()); }
+
+}  // namespace sablock::arch

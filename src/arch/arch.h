@@ -1,0 +1,54 @@
+#ifndef SABLOCK_ARCH_ARCH_H_
+#define SABLOCK_ARCH_ARCH_H_
+
+#include <string_view>
+
+namespace sablock::arch {
+
+/// Instruction-set levels the kernel layer can dispatch to. Each level is
+/// an isolated translation unit compiled with exactly that ISA's flags
+/// (see CMakeLists.txt); everything else in the tree builds for the
+/// baseline target, so no SIMD instruction can leak into code that runs
+/// before dispatch.
+enum class Isa {
+  kScalar = 0,  ///< portable reference kernels; always available
+  kSse42 = 1,   ///< 128-bit SSE4.2 kernels (2 lanes of 64-bit)
+  kAvx2 = 2,    ///< 256-bit AVX2 kernels (4 lanes of 64-bit)
+};
+
+/// Lower-case name used by the SABLOCK_ISA override and telemetry
+/// ("scalar", "sse42", "avx2").
+const char* IsaName(Isa isa);
+
+/// Parses an IsaName; returns false (and leaves `out` alone) on unknown
+/// names.
+bool ParseIsaName(std::string_view name, Isa* out);
+
+/// True when the level's translation unit was compiled with its ISA
+/// enabled (always true for scalar; false for SIMD levels on non-x86
+/// builds or compilers without the flag).
+bool IsaCompiled(Isa isa);
+
+/// True when the running CPU supports the level (CPUID probe) AND it was
+/// compiled in — i.e. the level is actually dispatchable here.
+bool IsaAvailable(Isa isa);
+
+/// The highest available level on this machine.
+Isa BestAvailableIsa();
+
+/// Dispatch policy, exposed for tests: an empty/absent override selects
+/// BestAvailableIsa(); a valid override is honoured when available and
+/// otherwise clamped down to the best available level (so forcing avx2
+/// on an sse42-only box degrades gracefully instead of crashing);
+/// an unparseable override falls back to BestAvailableIsa().
+Isa ResolveIsa(const char* override_name);
+
+/// The process-wide selected level: ResolveIsa(getenv("SABLOCK_ISA")),
+/// resolved once on first call and exported as the `kernels_dispatch`
+/// info metric (gauge, label `isa`) so bench JSON / Prometheus dumps
+/// record which code path produced their numbers.
+Isa ActiveIsa();
+
+}  // namespace sablock::arch
+
+#endif  // SABLOCK_ARCH_ARCH_H_

@@ -1,9 +1,9 @@
 #include "baselines/meta_blocking.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
 
+#include "common/flat_map.h"
 #include "features/feature_store.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/stages.h"
@@ -25,7 +25,7 @@ void TokenBlockingTechnique::Run(const data::Dataset& dataset,
   // Postings keyed by token id in a hash map: its footprint follows the
   // tokens this run actually touches, not token_limit — which covers the
   // whole column even when this run is one small shard slice of it.
-  std::unordered_map<features::TokenId, core::Block> postings;
+  FlatMap<features::TokenId, core::Block> postings;
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
     for (features::TokenId token : tokens.Tokens(id)) {
       postings[token].push_back(id);
@@ -35,9 +35,9 @@ void TokenBlockingTechnique::Run(const data::Dataset& dataset,
   // ordered by what they contain, not by how the vocabulary happened to
   // be discovered. Singleton blocks carry no comparisons and are skipped.
   std::vector<core::Block> kept;
-  for (auto& [token, block] : postings) {
+  postings.ForEach([&](features::TokenId, core::Block& block) {
     if (block.size() >= 2) kept.push_back(std::move(block));
-  }
+  });
   std::sort(kept.begin(), kept.end());
   for (core::Block& block : kept) {
     if (sink.Done()) break;

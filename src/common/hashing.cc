@@ -1,5 +1,7 @@
 #include "common/hashing.h"
 
+#include "arch/kernels.h"
+
 namespace sablock {
 
 uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
@@ -9,6 +11,10 @@ uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+void Mix64Batch(const uint64_t* in, size_t n, uint64_t* out) {
+  arch::ActiveKernels().mix64_batch(in, n, out);
 }
 
 UniversalHash UniversalHash::FromSeed(uint64_t seed, uint64_t index) {

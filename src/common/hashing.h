@@ -27,6 +27,31 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
 /// keys where determinism matters more than speed.
 uint64_t HashBytes(std::string_view bytes, uint64_t seed = 0);
 
+/// FNV-1a constants (the HashBytes fold), exposed for the batched window
+/// -hashing kernels in src/arch/ which must reproduce HashBytes exactly.
+inline constexpr uint64_t kFnv1aOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv1aPrime = 0x100000001b3ULL;
+
+/// (a·x + b) mod p with p = 2^61 - 1, fully reduced to [0, p). The
+/// 128-bit product is < 2^125; since 2^61 ≡ 1 (mod p), folding the three
+/// 61-bit limbs and two branchless conditional subtracts reduce it
+/// completely. Requires a, b < p. This is the scalar reference the SIMD
+/// minhash kernels must match bit-for-bit.
+inline uint64_t MersenneHash61(uint64_t a, uint64_t x, uint64_t b) {
+  constexpr uint64_t kPrime = (1ULL << 61) - 1;
+  unsigned __int128 prod = static_cast<unsigned __int128>(a) * x + b;
+  uint64_t lo = static_cast<uint64_t>(prod) & kPrime;
+  uint64_t mid = static_cast<uint64_t>(prod >> 61) & kPrime;
+  uint64_t hi = static_cast<uint64_t>(prod >> 122);
+  uint64_t r = lo + mid + hi;
+  // r < 3p, so two conditional subtracts fully reduce — branchless
+  // (compiles to cmov), unlike the data-dependent `while (r >= p)` loop
+  // this replaces.
+  r = r >= kPrime ? r - kPrime : r;
+  r = r >= kPrime ? r - kPrime : r;
+  return r;
+}
+
 /// A member of a 2-universal hash family over 64-bit keys:
 ///   h(x) = ((a * x + b) mod p) mod m  with p = 2^61 - 1 (Mersenne prime).
 /// Used to simulate minhash permutations.
@@ -39,18 +64,12 @@ class UniversalHash {
   static UniversalHash FromSeed(uint64_t seed, uint64_t index);
 
   /// Evaluates the hash; result is in [0, 2^61 - 1).
-  uint64_t operator()(uint64_t x) const {
-    // Multiply (a, x) modulo p = 2^61 - 1 using 128-bit arithmetic. The
-    // product is < 2^125; since 2^61 ≡ 1 (mod p), folding the three 61-bit
-    // limbs and subtracting p (at most twice) fully reduces it.
-    unsigned __int128 prod = static_cast<unsigned __int128>(a_) * x + b_;
-    uint64_t lo = static_cast<uint64_t>(prod) & kPrime;
-    uint64_t mid = static_cast<uint64_t>(prod >> 61) & kPrime;
-    uint64_t hi = static_cast<uint64_t>(prod >> 122);
-    uint64_t r = lo + mid + hi;
-    while (r >= kPrime) r -= kPrime;
-    return r;
-  }
+  uint64_t operator()(uint64_t x) const { return MersenneHash61(a_, x, b_); }
+
+  /// The family parameters, exposed so batched callers (MinHasher's
+  /// kernel dispatch) can lay them out as structure-of-arrays.
+  uint64_t a() const { return a_; }
+  uint64_t b() const { return b_; }
 
   static constexpr uint64_t kPrime = (1ULL << 61) - 1;
 
@@ -58,6 +77,10 @@ class UniversalHash {
   uint64_t a_;
   uint64_t b_;
 };
+
+/// Bulk Mix64 through the arch-dispatched kernel layer: out[i] =
+/// Mix64(in[i]) for i in [0, n). `in == out` (in-place) is allowed.
+void Mix64Batch(const uint64_t* in, size_t n, uint64_t* out);
 
 }  // namespace sablock
 

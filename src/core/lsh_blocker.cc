@@ -10,7 +10,7 @@
 
 namespace sablock::core {
 
-uint64_t LshBandKey(const std::vector<uint64_t>& sig, int table, int k) {
+uint64_t LshBandKey(std::span<const uint64_t> sig, int table, int k) {
   uint64_t key = Mix64(0x5ab10c0 + static_cast<uint64_t>(table));
   for (int r = 0; r < k; ++r) {
     key = HashCombine(key, sig[static_cast<size_t>(table) * k + r]);
@@ -18,7 +18,7 @@ uint64_t LshBandKey(const std::vector<uint64_t>& sig, int table, int k) {
   return key;
 }
 
-bool IsEmptyMinhashSignature(const std::vector<uint64_t>& sig) {
+bool IsEmptyMinhashSignature(std::span<const uint64_t> sig) {
   return sig.empty() || sig[0] == MinHasher::kEmptySlot;
 }
 
@@ -76,7 +76,8 @@ std::vector<std::vector<uint64_t>> ComputeMinhashSignatures(
   std::vector<std::vector<uint64_t>> sigs;
   sigs.reserve(dataset.size());
   for (data::RecordId id = 0; id < dataset.size(); ++id) {
-    sigs.push_back(cached.Signature(id));
+    std::span<const uint64_t> s = cached.Signature(id);
+    sigs.emplace_back(s.begin(), s.end());
   }
   return sigs;
 }

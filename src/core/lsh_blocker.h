@@ -2,6 +2,7 @@
 #define SABLOCK_CORE_LSH_BLOCKER_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -99,11 +100,11 @@ features::FeatureView::SignatureHandle MinhashSignatures(
 
 /// Bucket key of table `table` for signature rows
 /// [table*k, table*k + k) of `sig`.
-uint64_t LshBandKey(const std::vector<uint64_t>& sig, int table, int k);
+uint64_t LshBandKey(std::span<const uint64_t> sig, int table, int k);
 
 /// True for the sentinel signature of an empty shingle set; such records
 /// are excluded from every LSH table.
-bool IsEmptyMinhashSignature(const std::vector<uint64_t>& sig);
+bool IsEmptyMinhashSignature(std::span<const uint64_t> sig);
 
 /// The w semhash functions (feature indices) table `table` draws under
 /// `params`, for a semantic dimension of `dim` features. w is clamped to

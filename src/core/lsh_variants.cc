@@ -1,6 +1,7 @@
 #include "core/lsh_variants.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -142,7 +143,7 @@ void LshForestBlocker::Run(const data::Dataset& dataset,
     Block all;
     all.reserve(dataset.size());
     for (data::RecordId id = 0; id < dataset.size(); ++id) {
-      const std::vector<uint64_t>& sig = sigs.Signature(id);
+      const std::span<const uint64_t> sig = sigs.Signature(id);
       if (!sig.empty() && sig[0] != MinHasher::kEmptySlot) {
         all.push_back(id);
       }

@@ -2,6 +2,7 @@
 #define SABLOCK_CORE_MINHASH_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -21,22 +22,33 @@ class MinHasher {
   /// `num_hashes` is typically k·l for a banded LSH index.
   MinHasher(int num_hashes, uint64_t seed);
 
-  int num_hashes() const { return static_cast<int>(hashes_.size()); }
+  int num_hashes() const { return static_cast<int>(a_.size()); }
 
   /// Sentinel signature value of an empty shingle set (all hash functions
   /// return this maximum); empty records are excluded from LSH tables.
   static constexpr uint64_t kEmptySlot = UniversalHash::kPrime;
 
-  /// Computes the minhash signature of a shingle set.
-  std::vector<uint64_t> Signature(const std::vector<uint64_t>& shingles) const;
+  /// Computes the minhash signature of a shingle set into a caller-owned
+  /// buffer of exactly num_hashes() slots — no allocation. Dispatches to
+  /// the active SIMD kernel (see src/arch/); results are byte-identical
+  /// across dispatch levels.
+  void SignatureInto(std::span<const uint64_t> shingles,
+                     std::span<uint64_t> out) const;
+
+  /// Computes the minhash signature of a shingle set (allocating wrapper
+  /// over SignatureInto).
+  std::vector<uint64_t> Signature(std::span<const uint64_t> shingles) const;
 
   /// Fraction of agreeing positions — an unbiased estimate of the Jaccard
   /// similarity of the underlying shingle sets.
-  static double EstimateJaccard(const std::vector<uint64_t>& a,
-                                const std::vector<uint64_t>& b);
+  static double EstimateJaccard(std::span<const uint64_t> a,
+                                std::span<const uint64_t> b);
 
  private:
-  std::vector<UniversalHash> hashes_;
+  // Hash-family parameters in structure-of-arrays layout so the batched
+  // kernels can load 2/4 (a, b) pairs per vector register.
+  std::vector<uint64_t> a_;
+  std::vector<uint64_t> b_;
 };
 
 /// Converts records to textual shingle sets (Section 5.1, step 1):

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/flat_map.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/minhash.h"
@@ -169,7 +170,7 @@ void FeatureStore::BuildTokens(const std::vector<std::string>& attributes,
   // Column-local dense ids keep postings/bitmap consumers sized by this
   // column's vocabulary, independent of how large the shared dictionary
   // grew from other columns.
-  std::unordered_map<TokenId, TokenId> local_of;
+  FlatMap<TokenId, TokenId> local_of;
   for (data::RecordId id = 0; id < n; ++id) {
     std::vector<std::string> words = SplitWords(texts.texts[id]);
     std::sort(words.begin(), words.end());
@@ -182,10 +183,10 @@ void FeatureStore::BuildTokens(const std::vector<std::string>& attributes,
         auto [it, inserted] = token_ids_.try_emplace(
             w, static_cast<TokenId>(tokens_.size()));
         if (inserted) tokens_.push_back(std::move(w));
-        auto [local_it, fresh] = local_of.try_emplace(
+        auto [local_slot, fresh] = local_of.TryEmplace(
             it->second, static_cast<TokenId>(out->global_ids.size()));
         if (fresh) out->global_ids.push_back(it->second);
-        ids.push_back(local_it->second);
+        ids.push_back(*local_slot);
       }
     }
     std::sort(ids.begin(), ids.end());
@@ -209,9 +210,16 @@ void FeatureStore::BuildSignatures(
   const ShingleColumn& shingles = Shingles(attributes, q);
   core::MinHasher hasher(num_hashes, seed);
   const size_t n = snapshot_.size();
-  out->sigs.resize(n);
+  out->num_hashes = static_cast<uint32_t>(num_hashes);
+  // One flat allocation for the whole column; each record's row is
+  // written in place by the batched kernel — no per-record vectors.
+  out->data.resize(n * static_cast<size_t>(num_hashes));
+  std::span<uint64_t> all(out->data);
   for (data::RecordId id = 0; id < n; ++id) {
-    out->sigs[id] = hasher.Signature(shingles.sets[id]);
+    hasher.SignatureInto(
+        shingles.sets[id],
+        all.subspan(id * static_cast<size_t>(num_hashes),
+                    static_cast<size_t>(num_hashes)));
   }
 }
 

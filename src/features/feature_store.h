@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -48,9 +49,18 @@ struct ShingleColumn {
 };
 
 /// Per-record minhash signatures for one (attributes, q, num_hashes,
-/// seed) selection — core::MinHasher over the shingle column.
+/// seed) selection — core::MinHasher over the shingle column. Stored as
+/// one flat row-major array (record-major, num_hashes slots per record):
+/// a single allocation for the whole column, written in place by
+/// MinHasher::SignatureInto with no per-record vector churn.
 struct SignatureColumn {
-  std::vector<std::vector<uint64_t>> sigs;
+  uint32_t num_hashes = 0;
+  std::vector<uint64_t> data;  // size() == records × num_hashes
+
+  std::span<const uint64_t> Row(size_t record) const {
+    return std::span<const uint64_t>(data).subspan(record * num_hashes,
+                                                   num_hashes);
+  }
 };
 
 /// Shared feature-extraction cache attached to a Dataset (the "features"
@@ -236,8 +246,8 @@ class FeatureView {
 
   class SignatureHandle {
    public:
-    const std::vector<uint64_t>& Signature(data::RecordId id) const {
-      return column_->sigs[offset_ + id];
+    std::span<const uint64_t> Signature(data::RecordId id) const {
+      return column_->Row(offset_ + id);
     }
 
    private:

@@ -4,10 +4,10 @@
 #include <cmath>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 #include <vector>
+
+#include "common/flat_map.h"
 
 namespace sablock::pipeline {
 
@@ -51,8 +51,13 @@ core::BlockCollection MetaPrune(size_t num_records,
                                 MetaWeighting weighting,
                                 MetaPruning pruning) {
   // Per-record block membership counts |B_i| and the edge accumulators.
+  // The accumulator map is the hot path of every meta-blocking run — one
+  // probe per candidate comparison — so it is an open-addressing FlatMap
+  // (inline key/value slots, one cache line per probe) rather than a
+  // node-based std::unordered_map.
   std::vector<uint32_t> record_blocks(num_records, 0);
-  std::unordered_map<uint64_t, EdgeAccumulator> edges;
+  FlatMap<uint64_t, EdgeAccumulator> edges;
+  edges.reserve(input.TotalBlockSizes());
   for (const core::Block& b : input.blocks()) {
     double comparisons =
         static_cast<double>(b.size()) * (static_cast<double>(b.size()) - 1) /
@@ -168,16 +173,18 @@ core::BlockCollection MetaPrune(size_t num_records,
         incident[static_cast<uint32_t>(e.key & 0xffffffffULL)].emplace_back(
             e.weight, e.key);
       }
-      std::unordered_set<uint64_t> kept_set;
       for (auto& inc : incident) {
         size_t keep = std::min(k, inc.size());
         if (keep == 0) continue;
         std::partial_sort(inc.begin(),
                           inc.begin() + static_cast<ptrdiff_t>(keep),
                           inc.end(), std::greater<>());
-        for (size_t i = 0; i < keep; ++i) kept_set.insert(inc[i].second);
+        for (size_t i = 0; i < keep; ++i) kept.push_back(inc[i].second);
       }
-      kept.assign(kept_set.begin(), kept_set.end());
+      // Union of the per-node top-k sets, in a canonical (sorted) order
+      // rather than hash order — the output is platform-independent.
+      std::sort(kept.begin(), kept.end());
+      kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
       break;
     }
   }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "arch/kernels.h"
+#include "common/check.h"
 #include "common/hashing.h"
 
 namespace sablock::text {
@@ -36,6 +38,16 @@ std::vector<std::string> QGramSet(std::string_view s, int q, bool padded) {
   return grams;
 }
 
+void QGramWindowHashes(std::string_view s, int q, std::span<uint64_t> out) {
+  SABLOCK_CHECK(q >= 1 && s.size() >= static_cast<size_t>(q));
+  SABLOCK_CHECK(out.size() == s.size() - static_cast<size_t>(q) + 1);
+  // HashBytes seeds every chain with basis ^ Mix64(seed); the bulk kernel
+  // takes the pre-mixed basis so the per-window loop is pure FNV-1a.
+  const uint64_t basis = kFnv1aOffsetBasis ^ Mix64(0);
+  arch::ActiveKernels().fnv1a_windows(s.data(), s.size(), q, basis,
+                                      out.data());
+}
+
 std::vector<uint64_t> QGramHashes(std::string_view s, int q) {
   std::vector<uint64_t> hashes;
   if (q <= 0 || s.empty()) return hashes;
@@ -43,10 +55,8 @@ std::vector<uint64_t> QGramHashes(std::string_view s, int q) {
     hashes.push_back(HashBytes(s));
     return hashes;
   }
-  hashes.reserve(s.size() - q + 1);
-  for (size_t i = 0; i + q <= s.size(); ++i) {
-    hashes.push_back(HashBytes(s.substr(i, q)));
-  }
+  hashes.resize(s.size() - q + 1);
+  QGramWindowHashes(s, q, hashes);
   std::sort(hashes.begin(), hashes.end());
   hashes.erase(std::unique(hashes.begin(), hashes.end()), hashes.end());
   return hashes;

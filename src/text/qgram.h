@@ -2,6 +2,7 @@
 #define SABLOCK_TEXT_QGRAM_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,6 +25,12 @@ std::vector<std::string> QGramSet(std::string_view s, int q,
 /// The shingle representation used by minhash (hashing avoids string
 /// comparisons in the inner loop).
 std::vector<uint64_t> QGramHashes(std::string_view s, int q);
+
+/// Bulk path under QGramHashes: writes HashBytes(s.substr(i, q)) for every
+/// window i into `out` (no sort/dedup, no allocation). Requires q >= 1,
+/// s.size() >= q and out.size() == s.size() - q + 1. Dispatches to the
+/// active SIMD kernel (src/arch/); byte-identical across dispatch levels.
+void QGramWindowHashes(std::string_view s, int q, std::span<uint64_t> out);
 
 /// Jaccard coefficient of two sorted, deduplicated sequences.
 double JaccardSorted(const std::vector<std::string>& a,

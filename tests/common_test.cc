@@ -4,6 +4,7 @@
 
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "common/hashing.h"
 #include "common/pair_set.h"
@@ -58,6 +59,38 @@ TEST(UniversalHashTest, FullyReducedOverManyFamilyMembersAndInputs) {
       uint64_t x = Mix64(i);  // spread inputs over the full 64-bit range
       EXPECT_LT(h(x), UniversalHash::kPrime);
     }
+  }
+}
+
+// Pins the branchless conditional-subtract reduction against the loop
+// form it replaced: after folding the three 61-bit limbs the sum is
+// < 3p, so exactly two conditional subtracts reach the canonical
+// representative — any drift here would silently change every minhash
+// signature and LSH bucket in the system.
+TEST(UniversalHashTest, BranchlessReductionMatchesLoopReference) {
+  for (uint64_t index = 0; index < 16; ++index) {
+    UniversalHash h = UniversalHash::FromSeed(31, index);
+    for (uint64_t i = 0; i < 256; ++i) {
+      uint64_t x = Mix64(i);
+      constexpr uint64_t kPrime = UniversalHash::kPrime;
+      unsigned __int128 prod =
+          static_cast<unsigned __int128>(h.a()) * x + h.b();
+      uint64_t r = (static_cast<uint64_t>(prod) & kPrime) +
+                   (static_cast<uint64_t>(prod >> 61) & kPrime) +
+                   static_cast<uint64_t>(prod >> 122);
+      while (r >= kPrime) r -= kPrime;
+      EXPECT_EQ(h(x), r) << "index=" << index << " x=" << x;
+    }
+  }
+}
+
+TEST(Mix64BatchTest, MatchesScalarMix64) {
+  std::vector<uint64_t> in;
+  for (uint64_t i = 0; i < 1027; ++i) in.push_back(i * 0x9e3779b97f4a7c15ULL);
+  std::vector<uint64_t> out(in.size());
+  Mix64Batch(in.data(), in.size(), out.data());
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i], Mix64(in[i])) << i;
   }
 }
 

@@ -6,6 +6,7 @@
 #include "features/feature_store.h"
 
 #include <algorithm>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -111,7 +112,9 @@ TEST(FeatureStoreTest, SignatureColumnMatchesDirectMinhash) {
   core::MinHasher hasher(16, 7);
   FeatureView::ShingleHandle shingles = features.ShinglesFor(NameCity(), 3);
   for (data::RecordId id = 0; id < d.size(); ++id) {
-    EXPECT_EQ(sigs.Signature(id), hasher.Signature(shingles.Shingles(id)))
+    std::span<const uint64_t> row = sigs.Signature(id);
+    EXPECT_EQ(std::vector<uint64_t>(row.begin(), row.end()),
+              hasher.Signature(shingles.Shingles(id)))
         << id;
   }
 }
@@ -171,7 +174,7 @@ TEST(FeatureStoreTest, EightThreadsRacingGettersBuildEachCacheOnce) {
     EXPECT_EQ(shingle_cols[t], shingle_cols[0]);
     EXPECT_EQ(sig_cols[t], sig_cols[0]);
   }
-  EXPECT_EQ(sig_cols[0]->sigs.size(), d.size());
+  EXPECT_EQ(sig_cols[0]->data.size(), d.size() * 64);
 }
 
 TEST(FeatureStoreTest, SlicesShareTheParentStoreWithOffset) {

@@ -70,6 +70,14 @@ TEST(MinHasherTest, EstimatesJaccardWithinTolerance) {
   EXPECT_NEAR(est, 1.0 / 3.0, 0.08);
 }
 
+TEST(MinHasherTest, SignatureIntoMatchesAllocatingSignature) {
+  MinHasher h(37, 5);  // odd count exercises the SIMD kernels' tail loop
+  std::vector<uint64_t> shingles = text::QGramHashes("signature into", 3);
+  std::vector<uint64_t> buf(37, 0xdeadbeef);
+  h.SignatureInto(shingles, buf);
+  EXPECT_EQ(buf, h.Signature(shingles));
+}
+
 TEST(MinHasherTest, DifferentSeedsGiveDifferentFamilies) {
   MinHasher h1(8, 1);
   MinHasher h2(8, 2);

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/hashing.h"
 #include "text/qgram.h"
 
 namespace sablock::text {
@@ -50,6 +51,24 @@ TEST(QGramHashesTest, MatchesSetSemantics) {
   EXPECT_TRUE(std::is_sorted(h1.begin(), h1.end()));
   EXPECT_TRUE(QGramHashes("", 3).empty());
   EXPECT_EQ(QGramHashes("ab", 3).size(), 1u);  // short-string fallback
+}
+
+TEST(QGramWindowHashesTest, MatchesHashBytesPerWindow) {
+  // Lengths straddle the SIMD kernels' vector/tail boundary; q values
+  // cover the vector paths (q<=5 AVX2, q<=7 SSE4.2) and the q>7 scalar
+  // fallback.
+  const std::string text = "the quick brown fox jumps over the lazy dog";
+  for (int q : {1, 2, 3, 5, 7, 9}) {
+    for (size_t len = static_cast<size_t>(q); len <= text.size(); ++len) {
+      std::string_view s(text.data(), len);
+      std::vector<uint64_t> out(len - static_cast<size_t>(q) + 1);
+      QGramWindowHashes(s, q, out);
+      for (size_t i = 0; i < out.size(); ++i) {
+        EXPECT_EQ(out[i], HashBytes(s.substr(i, static_cast<size_t>(q))))
+            << "q=" << q << " len=" << len << " i=" << i;
+      }
+    }
+  }
 }
 
 TEST(JaccardSortedTest, KnownValues) {
