@@ -21,6 +21,7 @@ void RegisterAllScenarios(report::BenchRegistry& registry) {
   RegisterLshVariants(registry);
   RegisterMicro(registry);
   RegisterServiceLatency(registry);
+  RegisterSnapshotIo(registry);
 }
 
 void EnsureScenariosRegistered() {

@@ -46,6 +46,7 @@ void RegisterEngineScaling(report::BenchRegistry& registry);
 void RegisterLshVariants(report::BenchRegistry& registry);
 void RegisterMicro(report::BenchRegistry& registry);
 void RegisterServiceLatency(report::BenchRegistry& registry);
+void RegisterSnapshotIo(report::BenchRegistry& registry);
 
 }  // namespace sablock::bench
 

@@ -38,7 +38,19 @@ class StringArena {
     return {dst, s.size()};
   }
 
-  /// Total interned bytes (excludes chunk slack).
+  /// Takes shared ownership of an externally allocated immutable byte
+  /// region — typically a read-only snapshot file mapping — so views into
+  /// it stay valid for the arena's lifetime, exactly like interned spans.
+  /// The arena never writes to adopted regions; later Intern calls append
+  /// to fresh chunks, which is what gives a loaded snapshot its natural
+  /// copy-on-write mutation path (the mapping stays pristine, new record
+  /// bytes land in ordinary heap chunks).
+  void Adopt(std::shared_ptr<const void> region, size_t region_bytes) {
+    adopted_.push_back(std::move(region));
+    bytes_ += region_bytes;
+  }
+
+  /// Total interned + adopted bytes (excludes chunk slack).
   size_t bytes() const { return bytes_; }
 
  private:
@@ -52,6 +64,7 @@ class StringArena {
   }
 
   std::vector<std::unique_ptr<char[]>> chunks_;
+  std::vector<std::shared_ptr<const void>> adopted_;  // keep-alives
   size_t capacity_ = 0;  // capacity of the current (last) chunk
   size_t used_ = 0;      // bytes used in the current chunk
   size_t bytes_ = 0;

@@ -106,6 +106,30 @@ RecordId Dataset::AddRow(std::span<const std::string_view> values,
   return static_cast<RecordId>(entities_.size() - 1);
 }
 
+Dataset Dataset::FromColumns(Schema schema, std::shared_ptr<StringArena> arena,
+                             std::vector<std::string_view> values,
+                             std::vector<EntityId> entities) {
+  SABLOCK_CHECK_MSG(values.size() == entities.size() * schema.size(),
+                    "column storage does not match schema width");
+  Dataset out(std::move(schema));
+  out.arena_ = std::move(arena);
+  out.values_ = std::move(values);
+  out.entities_ = std::move(entities);
+  out.version_ = out.entities_.size();
+  return out;
+}
+
+void Dataset::AdoptFeatures(
+    std::shared_ptr<const features::FeatureStore> store) {
+  SABLOCK_CHECK_MSG(store != nullptr, "cannot adopt a null feature store");
+  SABLOCK_CHECK_MSG(
+      store->dataset_version() == version_ && store->size() == size(),
+      "adopted feature store does not snapshot this dataset");
+  std::lock_guard<std::mutex> lock(FeatureCreationMutex());
+  features_ = std::move(store);
+  feature_offset_ = 0;
+}
+
 Record Dataset::record(RecordId id) const {
   Record out;
   out.values.reserve(schema_.size());

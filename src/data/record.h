@@ -99,6 +99,21 @@ class Dataset {
   RecordId AddRow(std::span<const std::string_view> values,
                   EntityId entity = kUnknownEntity);
 
+  /// Assembles a dataset directly from prebuilt columnar storage — the
+  /// snapshot loader's entry point. `values` must be row-major with
+  /// schema-width rows whose views stay valid for `arena`'s lifetime
+  /// (interned or adopted bytes); aborts on a size mismatch. The version
+  /// counter ends up as if the records had been appended one by one.
+  static Dataset FromColumns(Schema schema, std::shared_ptr<StringArena> arena,
+                             std::vector<std::string_view> values,
+                             std::vector<EntityId> entities);
+
+  /// Attaches an externally built FeatureStore (precomputed snapshot
+  /// columns) as this dataset's feature cache. The store must snapshot
+  /// exactly this dataset at its current version; aborts otherwise, so
+  /// a loader bug can never wire stale features to the wrong data.
+  void AdoptFeatures(std::shared_ptr<const features::FeatureStore> store);
+
   /// Number of records.
   size_t size() const { return entities_.size(); }
   bool empty() const { return entities_.empty(); }

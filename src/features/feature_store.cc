@@ -95,6 +95,7 @@ const TextColumn& FeatureStore::Texts(
     BuildTexts(attributes, &entry.column);
     metrics.build_seconds->Observe(timer.Seconds());
     text_builds_.fetch_add(1, std::memory_order_relaxed);
+    RecordInCatalog(&Catalog::texts, attributes, 0, 0, 0);
     built_here = true;
   });
   (built_here ? metrics.misses : metrics.hits)->Add(1);
@@ -112,6 +113,7 @@ const TokenColumn& FeatureStore::Tokens(
     BuildTokens(attributes, &entry.column);
     metrics.build_seconds->Observe(timer.Seconds());
     token_builds_.fetch_add(1, std::memory_order_relaxed);
+    RecordInCatalog(&Catalog::tokens, attributes, 0, 0, 0);
     built_here = true;
   });
   (built_here ? metrics.misses : metrics.hits)->Add(1);
@@ -129,6 +131,7 @@ const ShingleColumn& FeatureStore::Shingles(
     BuildShingles(attributes, q, &entry.column);
     metrics.build_seconds->Observe(timer.Seconds());
     shingle_builds_.fetch_add(1, std::memory_order_relaxed);
+    RecordInCatalog(&Catalog::shingles, attributes, q, 0, 0);
     built_here = true;
   });
   (built_here ? metrics.misses : metrics.hits)->Add(1);
@@ -147,6 +150,7 @@ const SignatureColumn& FeatureStore::Signatures(
     BuildSignatures(attributes, q, num_hashes, seed, &entry.column);
     metrics.build_seconds->Observe(timer.Seconds());
     signature_builds_.fetch_add(1, std::memory_order_relaxed);
+    RecordInCatalog(&Catalog::signatures, attributes, q, num_hashes, seed);
     built_here = true;
   });
   (built_here ? metrics.misses : metrics.hits)->Add(1);
@@ -167,10 +171,20 @@ void FeatureStore::BuildTokens(const std::vector<std::string>& attributes,
   const TextColumn& texts = Texts(attributes);
   const size_t n = snapshot_.size();
   out->tokens.resize(n);
+  // Natural-text vocabularies grow O(records), so pre-size the id maps
+  // and the dictionary from the row count — the builds below then run
+  // without rehash churn (visible in bench_micro's feature section).
+  out->global_ids.reserve(n);
+  {
+    std::lock_guard<std::mutex> lock(token_mutex_);
+    token_ids_.reserve(token_ids_.size() + n);
+    tokens_.reserve(tokens_.size() + n);
+  }
   // Column-local dense ids keep postings/bitmap consumers sized by this
   // column's vocabulary, independent of how large the shared dictionary
   // grew from other columns.
   FlatMap<TokenId, TokenId> local_of;
+  local_of.reserve(n);
   for (data::RecordId id = 0; id < n; ++id) {
     std::vector<std::string> words = SplitWords(texts.texts[id]);
     std::sort(words.begin(), words.end());
@@ -221,6 +235,111 @@ void FeatureStore::BuildSignatures(
         all.subspan(id * static_cast<size_t>(num_hashes),
                     static_cast<size_t>(num_hashes)));
   }
+  out->rows = out->data;  // data never reallocates after this point
+}
+
+void FeatureStore::RecordInCatalog(std::vector<ColumnParams> Catalog::* list,
+                                   const std::vector<std::string>& attributes,
+                                   int q, int num_hashes,
+                                   uint64_t seed) const {
+  ColumnParams params;
+  params.attributes = attributes;
+  params.q = q;
+  params.num_hashes = num_hashes;
+  params.seed = seed;
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  (catalog_.*list).push_back(std::move(params));
+}
+
+FeatureStore::Catalog FeatureStore::catalog() const {
+  std::lock_guard<std::mutex> lock(map_mutex_);
+  return catalog_;
+}
+
+void FeatureStore::AdoptTexts(const std::vector<std::string>& attributes,
+                              TextColumn column) {
+  SABLOCK_CHECK_MSG(column.texts.size() == size(),
+                    "adopted text column has wrong record count");
+  Entry<TextColumn>& entry = FindOrCreate(texts_, TextKey(attributes));
+  bool adopted = false;
+  std::call_once(entry.once, [&] {
+    entry.column = std::move(column);
+    text_builds_.fetch_add(1, std::memory_order_relaxed);
+    RecordInCatalog(&Catalog::texts, attributes, 0, 0, 0);
+    adopted = true;
+  });
+  SABLOCK_CHECK_MSG(adopted, "text column already built; adopt first");
+}
+
+void FeatureStore::AdoptTokens(const std::vector<std::string>& attributes,
+                               std::vector<std::string> local_tokens,
+                               std::vector<std::vector<TokenId>> per_record) {
+  SABLOCK_CHECK_MSG(per_record.size() == size(),
+                    "adopted token column has wrong record count");
+  TokenColumn column;
+  column.tokens = std::move(per_record);
+  column.token_limit = static_cast<uint32_t>(local_tokens.size());
+  column.global_ids.reserve(local_tokens.size());
+  {
+    // Re-intern the column vocabulary in local-id order: local ids (the
+    // semantic ones — block content and order depend on them) transfer
+    // exactly; only the global dictionary ids may differ from the
+    // producing process, which is fine because they never leave Token().
+    std::lock_guard<std::mutex> lock(token_mutex_);
+    token_ids_.reserve(token_ids_.size() + local_tokens.size());
+    tokens_.reserve(tokens_.size() + local_tokens.size());
+    for (std::string& w : local_tokens) {
+      auto [it, inserted] =
+          token_ids_.try_emplace(w, static_cast<TokenId>(tokens_.size()));
+      if (inserted) tokens_.push_back(std::move(w));
+      column.global_ids.push_back(it->second);
+    }
+  }
+  Entry<TokenColumn>& entry =
+      FindOrCreate(tokens_columns_, TextKey(attributes));
+  bool adopted = false;
+  std::call_once(entry.once, [&] {
+    entry.column = std::move(column);
+    token_builds_.fetch_add(1, std::memory_order_relaxed);
+    RecordInCatalog(&Catalog::tokens, attributes, 0, 0, 0);
+    adopted = true;
+  });
+  SABLOCK_CHECK_MSG(adopted, "token column already built; adopt first");
+}
+
+void FeatureStore::AdoptShingles(const std::vector<std::string>& attributes,
+                                 int q, ShingleColumn column) {
+  SABLOCK_CHECK_MSG(column.sets.size() == size(),
+                    "adopted shingle column has wrong record count");
+  Entry<ShingleColumn>& entry =
+      FindOrCreate(shingles_, ShingleKey(attributes, q));
+  bool adopted = false;
+  std::call_once(entry.once, [&] {
+    entry.column = std::move(column);
+    shingle_builds_.fetch_add(1, std::memory_order_relaxed);
+    RecordInCatalog(&Catalog::shingles, attributes, q, 0, 0);
+    adopted = true;
+  });
+  SABLOCK_CHECK_MSG(adopted, "shingle column already built; adopt first");
+}
+
+void FeatureStore::AdoptSignatures(const std::vector<std::string>& attributes,
+                                   int q, int num_hashes, uint64_t seed,
+                                   SignatureColumn column) {
+  SABLOCK_CHECK_MSG(
+      column.num_hashes == static_cast<uint32_t>(num_hashes) &&
+          column.rows.size() == size() * static_cast<size_t>(num_hashes),
+      "adopted signature column has wrong shape");
+  Entry<SignatureColumn>& entry = FindOrCreate(
+      signatures_, SignatureKey(attributes, q, num_hashes, seed));
+  bool adopted = false;
+  std::call_once(entry.once, [&] {
+    entry.column = std::move(column);
+    signature_builds_.fetch_add(1, std::memory_order_relaxed);
+    RecordInCatalog(&Catalog::signatures, attributes, q, num_hashes, seed);
+    adopted = true;
+  });
+  SABLOCK_CHECK_MSG(adopted, "signature column already built; adopt first");
 }
 
 std::string FeatureStore::Token(TokenId id) const {

@@ -53,13 +53,19 @@ struct ShingleColumn {
 /// one flat row-major array (record-major, num_hashes slots per record):
 /// a single allocation for the whole column, written in place by
 /// MinHasher::SignatureInto with no per-record vector churn.
+///
+/// Readers go through `rows`, which either aliases the owning `data`
+/// vector (built columns) or an external immutable region such as a
+/// read-only snapshot mapping kept alive by `retain` (adopted columns —
+/// the matrix is served zero-copy straight out of the file).
 struct SignatureColumn {
   uint32_t num_hashes = 0;
-  std::vector<uint64_t> data;  // size() == records × num_hashes
+  std::vector<uint64_t> data;       // owning storage; empty when adopted
+  std::span<const uint64_t> rows;   // records × num_hashes values
+  std::shared_ptr<const void> retain;  // keep-alive for non-owned rows
 
   std::span<const uint64_t> Row(size_t record) const {
-    return std::span<const uint64_t>(data).subspan(record * num_hashes,
-                                                   num_hashes);
+    return rows.subspan(record * num_hashes, num_hashes);
   }
 };
 
@@ -107,6 +113,44 @@ class FeatureStore {
       const std::vector<std::string>& attributes, int q, int num_hashes,
       uint64_t seed) const;
 
+  /// Parameters of one built column, recorded at build/adopt time so the
+  /// snapshot writer can enumerate exactly what was cached and persist it.
+  struct ColumnParams {
+    std::vector<std::string> attributes;
+    int q = 0;           // shingle & signature columns
+    int num_hashes = 0;  // signature columns only
+    uint64_t seed = 0;   // signature columns only
+  };
+
+  /// The built-column catalog, one list per column kind, in publication
+  /// order (deterministic for a single-threaded warm-up sequence).
+  struct Catalog {
+    std::vector<ColumnParams> texts;
+    std::vector<ColumnParams> tokens;
+    std::vector<ColumnParams> shingles;
+    std::vector<ColumnParams> signatures;
+  };
+  Catalog catalog() const;
+
+  // Snapshot-loader adoption: pre-publishes a column deserialized from a
+  // snapshot so the first getter call is a cache hit instead of a build.
+  // Adopt while the loader solely owns the store (before any getter can
+  // race the same key); adopting an already-built column aborts.
+
+  void AdoptTexts(const std::vector<std::string>& attributes,
+                  TextColumn column);
+  /// `local_tokens` is the column vocabulary in local-id order; the
+  /// strings are re-interned into this store's dictionary to rebuild the
+  /// local->global id map. `per_record[r]` holds record r's sorted
+  /// distinct local ids, all < local_tokens.size().
+  void AdoptTokens(const std::vector<std::string>& attributes,
+                   std::vector<std::string> local_tokens,
+                   std::vector<std::vector<TokenId>> per_record);
+  void AdoptShingles(const std::vector<std::string>& attributes, int q,
+                     ShingleColumn column);
+  void AdoptSignatures(const std::vector<std::string>& attributes, int q,
+                       int num_hashes, uint64_t seed, SignatureColumn column);
+
   /// The interned string of a token id (copy; dictionary access is
   /// serialized). Aborts on out-of-range ids.
   std::string Token(TokenId id) const;
@@ -138,6 +182,10 @@ class FeatureStore {
   Entry<Column>& FindOrCreate(EntryMap<Column>& map,
                               const std::string& key) const;
 
+  void RecordInCatalog(std::vector<ColumnParams> Catalog::* list,
+                       const std::vector<std::string>& attributes, int q,
+                       int num_hashes, uint64_t seed) const;
+
   void BuildTexts(const std::vector<std::string>& attributes,
                   TextColumn* out) const;
   void BuildTokens(const std::vector<std::string>& attributes,
@@ -151,7 +199,8 @@ class FeatureStore {
   data::Dataset snapshot_;
   uint64_t dataset_version_ = 0;
 
-  mutable std::mutex map_mutex_;  // guards the entry maps
+  mutable std::mutex map_mutex_;  // guards the entry maps + catalog
+  mutable Catalog catalog_;
   mutable EntryMap<TextColumn> texts_;
   mutable EntryMap<TokenColumn> tokens_columns_;
   mutable EntryMap<ShingleColumn> shingles_;
@@ -183,7 +232,12 @@ class FeatureView {
   /// Records visible through this view (the owning dataset's size).
   size_t size() const { return size_; }
 
+  /// First store-snapshot record this view maps to (non-zero for slice
+  /// views; the snapshot writer only persists whole-dataset stores).
+  size_t offset() const { return offset_; }
+
   const FeatureStore& store() const { return *store_; }
+  std::shared_ptr<const FeatureStore> store_ptr() const { return store_; }
 
   // Every handle co-owns the store: a handle stays valid even if the
   // originating Dataset mutates (Add resets its cache pointer) or was a

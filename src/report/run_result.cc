@@ -73,6 +73,14 @@ Json ToJson(const LatencyStats& stats) {
   return j;
 }
 
+Json ToJson(const IoStats& stats) {
+  Json j = Json::Object();
+  j.Set("file_bytes", stats.file_bytes);
+  j.Set("cold_load_s", stats.cold_load_s);
+  j.Set("first_query_s", stats.first_query_s);
+  return j;
+}
+
 Json ToJson(const eval::Metrics& m) {
   Json j = Json::Object();
   j.Set("pc", m.pc);
@@ -159,6 +167,17 @@ Status LatencyStatsFromJson(const Json& json, LatencyStats* out) {
   return Status::Ok();
 }
 
+Status IoStatsFromJson(const Json& json, IoStats* out) {
+  if (json.type() != Json::Type::kObject) return Missing("io");
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "file_bytes", true, &out->file_bytes));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadDouble(json, "cold_load_s", true, &out->cold_load_s));
+  SABLOCK_RETURN_IF_ERROR(
+      ReadDouble(json, "first_query_s", true, &out->first_query_s));
+  return Status::Ok();
+}
+
 Status StageTimingFromJson(const Json& json, StageTiming* out) {
   if (json.type() != Json::Type::kObject) return Missing("stages[]");
   SABLOCK_RETURN_IF_ERROR(ReadString(json, "name", true, &out->name));
@@ -221,6 +240,7 @@ Json ToJson(const RunResult& run) {
   }
   if (run.has_metrics) j.Set("metrics", ToJson(run.metrics));
   if (run.has_latency) j.Set("latency", ToJson(run.latency));
+  if (run.has_io) j.Set("io", ToJson(run.io));
   if (!run.values.empty()) {
     Json values = Json::Object();
     for (const auto& [key, value] : run.values) values.Set(key, value);
@@ -290,6 +310,10 @@ Status RunResultFromJson(const Json& json, RunResult* out) {
   if (const Json* latency = json.Find("latency")) {
     SABLOCK_RETURN_IF_ERROR(LatencyStatsFromJson(*latency, &out->latency));
     out->has_latency = true;
+  }
+  if (const Json* io = json.Find("io")) {
+    SABLOCK_RETURN_IF_ERROR(IoStatsFromJson(*io, &out->io));
+    out->has_io = true;
   }
   if (const Json* values = json.Find("values")) {
     if (values->type() != Json::Type::kObject) return Missing("values");

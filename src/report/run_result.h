@@ -18,7 +18,9 @@ namespace sablock::report {
 /// understand. Bump on any backwards-incompatible key change.
 /// v2: suites carry an optional suite-level `metrics` object — the
 /// process's obs::MetricsSnapshot (see obs/export.h for the shape).
-inline constexpr int kSchemaVersion = 2;
+/// v3: runs carry an optional `io` object (snapshot file size +
+/// cold-load and first-query wall times; the `snapshot_io` scenario).
+inline constexpr int kSchemaVersion = 3;
 
 /// Wall-time statistics over a run's timing repetitions (seconds). For
 /// micro-benchmarks the same shape carries seconds *per operation*.
@@ -51,6 +53,18 @@ struct LatencyStats {
 LatencyStats SummarizeLatency(std::vector<double> op_seconds,
                               double wall_seconds);
 
+/// Persistence axis of a run (the `snapshot_io` scenario): the size of
+/// the container on disk plus how long a cold load and the first query
+/// after it took. Additive schema-v3 extension — absent elsewhere.
+/// `file_bytes` is deterministic for a fixed corpus and compared
+/// exactly by bench_compare.py; the timings are threshold-gated like
+/// every other wall time.
+struct IoStats {
+  uint64_t file_bytes = 0;
+  double cold_load_s = 0.0;
+  double first_query_s = 0.0;
+};
+
 /// One step of a pipeline run: what the generator or one stage emitted
 /// and the exclusive wall time it spent (eval::StageCounts, serialized).
 struct StageTiming {
@@ -82,6 +96,8 @@ struct RunResult {
   eval::Metrics metrics;
   bool has_latency = false;
   LatencyStats latency;
+  bool has_io = false;
+  IoStats io;
   std::vector<std::pair<std::string, double>> values;
 
   void AddParam(std::string key, std::string value) {

@@ -49,6 +49,19 @@ data::RecordId CandidateService::Insert(
   return id;
 }
 
+size_t CandidateService::Preload(const data::Dataset& dataset) {
+  SABLOCK_CHECK_MSG(dataset.schema().size() == schema_.size(),
+                    "preload dataset schema does not match the service");
+  std::unique_lock lock(mu_);
+  for (data::RecordId id = 0; id < dataset.size(); ++id) {
+    data::RecordId assigned =
+        dataset_.AddRow(dataset.Values(id), dataset.entity(id));
+    index_->Insert(assigned, dataset_.Values(assigned));
+  }
+  inserts_.fetch_add(dataset.size(), std::memory_order_relaxed);
+  return dataset.size();
+}
+
 std::vector<data::RecordId> CandidateService::Query(
     std::span<const std::string_view> values) const {
   SABLOCK_CHECK_MSG(values.size() == schema_.size(),

@@ -34,6 +34,13 @@ class CandidateService {
   /// `values` must be aligned with schema().
   data::RecordId Insert(std::span<const std::string_view> values);
 
+  /// Bulk-inserts every record of `dataset` (schemas must match) under a
+  /// single exclusive lock — the warm-start path for sablock_serve
+  /// --snapshot, where per-record locking and per-insert histogram
+  /// samples would only slow the startup down. Returns the number of
+  /// records inserted.
+  size_t Preload(const data::Dataset& dataset);
+
   /// Candidate ids for a probe (see IncrementalIndex::Query).
   std::vector<data::RecordId> Query(
       std::span<const std::string_view> values) const;

@@ -1,0 +1,117 @@
+#ifndef SABLOCK_STORE_BYTES_H_
+#define SABLOCK_STORE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace sablock::store {
+
+/// Appends fixed-width values, varints and length-prefixed strings to a
+/// byte buffer. Fixed-width values are written in host byte order; the
+/// file header's endian marker guards cross-endian loads (format.h).
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::string* out) : out_(out) {}
+
+  void PutBytes(const void* data, size_t n) {
+    out_->append(static_cast<const char*>(data), n);
+  }
+  void PutU8(uint8_t v) { PutBytes(&v, sizeof v); }
+  void PutU32(uint32_t v) { PutBytes(&v, sizeof v); }
+  void PutU64(uint64_t v) { PutBytes(&v, sizeof v); }
+
+  /// LEB128 unsigned varint (1..10 bytes).
+  void PutVarint(uint64_t v) {
+    while (v >= 0x80) {
+      PutU8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutU8(static_cast<uint8_t>(v));
+  }
+
+  /// Varint length prefix + raw bytes.
+  void PutString(std::string_view s) {
+    PutVarint(s.size());
+    PutBytes(s.data(), s.size());
+  }
+
+  size_t size() const { return out_->size(); }
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked reader over an immutable byte range (typically a
+/// read-only file mapping). Every accessor returns false instead of
+/// reading past the end, so hostile input can never fault — callers
+/// turn a false into a clean Status error.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t size)
+      : data_(static_cast<const char*>(data)), size_(size) {}
+
+  bool ReadBytes(void* out, size_t n) {
+    if (n > size_ - pos_) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool ReadU8(uint8_t* out) { return ReadBytes(out, sizeof *out); }
+  bool ReadU32(uint32_t* out) { return ReadBytes(out, sizeof *out); }
+  bool ReadU64(uint64_t* out) { return ReadBytes(out, sizeof *out); }
+
+  bool ReadVarint(uint64_t* out) {
+    uint64_t value = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+      uint8_t byte;
+      if (!ReadU8(&byte)) return false;
+      value |= static_cast<uint64_t>(byte & 0x7f) << shift;
+      if (!(byte & 0x80)) {
+        *out = value;
+        return true;
+      }
+      // The 10th byte may only contribute the top bit (shift 63).
+      if (shift == 63) return false;
+    }
+    return false;
+  }
+
+  /// Varint length prefix + bytes, returned as a view into the buffer.
+  bool ReadStringView(std::string_view* out) {
+    uint64_t len;
+    if (!ReadVarint(&len)) return false;
+    if (len > size_ - pos_) return false;
+    *out = {data_ + pos_, static_cast<size_t>(len)};
+    pos_ += len;
+    return true;
+  }
+
+  bool Skip(size_t n) {
+    if (n > size_ - pos_) return false;
+    pos_ += n;
+    return true;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  const char* cursor() const { return data_ + pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+inline uint64_t ZigzagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+inline int64_t ZigzagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace sablock::store
+
+#endif  // SABLOCK_STORE_BYTES_H_

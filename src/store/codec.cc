@@ -1,0 +1,118 @@
+#include "store/codec.h"
+
+#include <algorithm>
+
+namespace sablock::store {
+
+void WriteU64Block(ByteWriter& writer, std::span<const uint64_t> values,
+                   bool compressed) {
+  writer.PutVarint(values.size());
+  if (!compressed) {
+    for (uint64_t v : values) writer.PutU64(v);
+    return;
+  }
+  uint64_t prev = 0;
+  for (uint64_t v : values) {
+    writer.PutVarint(ZigzagEncode(static_cast<int64_t>(v - prev)));
+    prev = v;
+  }
+}
+
+Status ReadU64Block(ByteReader& reader, bool compressed,
+                    std::vector<uint64_t>* out) {
+  uint64_t count;
+  if (!reader.ReadVarint(&count)) {
+    return Status::Error("u64 block: truncated count");
+  }
+  // Every element costs at least one byte (varint) or eight (raw), so a
+  // count the remaining bytes cannot possibly hold is corruption — catch
+  // it before the allocation, not inside it.
+  const uint64_t min_bytes_per = compressed ? 1 : 8;
+  if (count > reader.remaining() / min_bytes_per) {
+    return Status::Error("u64 block: count exceeds available bytes");
+  }
+  out->clear();
+  out->reserve(count);
+  if (!compressed) {
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t v;
+      if (!reader.ReadU64(&v)) {
+        return Status::Error("u64 block: truncated values");
+      }
+      out->push_back(v);
+    }
+    return Status::Ok();
+  }
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta;
+    if (!reader.ReadVarint(&delta)) {
+      return Status::Error("u64 block: truncated varint delta");
+    }
+    prev += static_cast<uint64_t>(ZigzagDecode(delta));
+    out->push_back(prev);
+  }
+  return Status::Ok();
+}
+
+void WriteStringBlock(ByteWriter& writer, std::span<const std::string> strings,
+                      bool compressed) {
+  writer.PutVarint(strings.size());
+  if (!compressed) {
+    for (const std::string& s : strings) writer.PutString(s);
+    return;
+  }
+  std::string_view prev;
+  for (const std::string& s : strings) {
+    size_t limit = std::min(prev.size(), s.size());
+    size_t shared = 0;
+    while (shared < limit && prev[shared] == s[shared]) ++shared;
+    writer.PutVarint(shared);
+    writer.PutString(std::string_view(s).substr(shared));
+    prev = s;
+  }
+}
+
+Status ReadStringBlock(ByteReader& reader, bool compressed,
+                       std::vector<std::string>* out) {
+  uint64_t count;
+  if (!reader.ReadVarint(&count)) {
+    return Status::Error("string block: truncated count");
+  }
+  // Raw strings cost >= 1 byte each (the length varint); front-coded
+  // strings cost >= 2 (prefix varint + length varint).
+  const uint64_t min_bytes_per = compressed ? 2 : 1;
+  if (count > reader.remaining() / min_bytes_per) {
+    return Status::Error("string block: count exceeds available bytes");
+  }
+  out->clear();
+  out->reserve(count);
+  if (!compressed) {
+    for (uint64_t i = 0; i < count; ++i) {
+      std::string_view s;
+      if (!reader.ReadStringView(&s)) {
+        return Status::Error("string block: truncated string");
+      }
+      out->emplace_back(s);
+    }
+    return Status::Ok();
+  }
+  std::string prev;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t shared;
+    std::string_view suffix;
+    if (!reader.ReadVarint(&shared) || !reader.ReadStringView(&suffix)) {
+      return Status::Error("string block: truncated front-coded entry");
+    }
+    if (shared > prev.size()) {
+      return Status::Error("string block: front-coding prefix out of range");
+    }
+    std::string s = prev.substr(0, shared);
+    s.append(suffix);
+    out->push_back(s);
+    prev = std::move(s);
+  }
+  return Status::Ok();
+}
+
+}  // namespace sablock::store

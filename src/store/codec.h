@@ -1,0 +1,38 @@
+#ifndef SABLOCK_STORE_CODEC_H_
+#define SABLOCK_STORE_CODEC_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/bytes.h"
+
+namespace sablock::store {
+
+// Self-framing sub-blocks shared by the snapshot writer and loader.
+// Each block carries its own element count, and every reader validates
+// that count against the bytes actually available before allocating,
+// so a corrupt count can neither over-allocate nor read out of bounds.
+
+/// u64 array: varint count, then either raw host-order values or —
+/// compressed — varint zigzag-deltas (wrapping), which shrink sorted
+/// sequences (value offsets, token postings, shingle hash sets) to a
+/// byte or two per element.
+void WriteU64Block(ByteWriter& writer, std::span<const uint64_t> values,
+                   bool compressed);
+Status ReadU64Block(ByteReader& reader, bool compressed,
+                    std::vector<uint64_t>* out);
+
+/// String table: varint count, then either raw length-prefixed strings
+/// or — compressed — dictionary front-coding (shared-prefix length with
+/// the previous string + suffix), which shrinks sorted-ish text tables.
+void WriteStringBlock(ByteWriter& writer, std::span<const std::string> strings,
+                      bool compressed);
+Status ReadStringBlock(ByteReader& reader, bool compressed,
+                       std::vector<std::string>* out);
+
+}  // namespace sablock::store
+
+#endif  // SABLOCK_STORE_CODEC_H_

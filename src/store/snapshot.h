@@ -1,0 +1,50 @@
+#ifndef SABLOCK_STORE_SNAPSHOT_H_
+#define SABLOCK_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "data/record.h"
+
+namespace sablock::store {
+
+struct LoadOptions {
+  /// Verify the Checksum64 digest of every section payload before
+  /// decoding it (the header and section table are always validated).
+  /// Costs one sequential pass over the file; turn off only for trusted
+  /// local files where the page cache is already warm.
+  bool verify_checksums = true;
+  /// Deserialize precomputed FeatureStore sections and attach them to
+  /// the dataset as a pre-warmed cache (signature matrices alias the
+  /// mapping zero-copy). Off = dataset core only; features rebuild
+  /// lazily on first use.
+  bool load_features = true;
+};
+
+struct SnapshotInfo {
+  uint64_t file_bytes = 0;
+  uint64_t records = 0;
+  uint32_t attributes = 0;
+  uint32_t sections = 0;
+  uint32_t feature_sections = 0;
+  bool any_compressed = false;
+};
+
+/// Loads a `.sab` snapshot written by WriteSnapshot. The file is mapped
+/// read-only and the dataset's string arena adopts the mapping, so
+/// record bytes (and raw signature matrices) are served zero-copy from
+/// the page cache; the mapping lives until the last dataset / feature
+/// handle sharing the arena is gone. Mutating the loaded dataset
+/// copies-on-write: new bytes intern into fresh heap chunks and the
+/// stale-feature version CHECK fires exactly as for a parsed dataset.
+///
+/// Corrupt, truncated, foreign-endian or wrong-version files return a
+/// descriptive error Status — never a crash, never a silently wrong
+/// dataset.
+Status LoadSnapshot(const std::string& path, const LoadOptions& options,
+                    data::Dataset* out, SnapshotInfo* info = nullptr);
+
+}  // namespace sablock::store
+
+#endif  // SABLOCK_STORE_SNAPSHOT_H_

@@ -1,0 +1,41 @@
+#ifndef SABLOCK_STORE_SNAPSHOT_WRITER_H_
+#define SABLOCK_STORE_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "data/record.h"
+
+namespace sablock::store {
+
+struct WriteOptions {
+  /// Compress the heavyweight sections (varint zigzag-delta for u64
+  /// arrays, dictionary front-coding for string tables). Signature
+  /// matrices stay raw either way so the loader can mmap-alias them.
+  bool compress = true;
+  /// Persist every FeatureStore column already built for the dataset
+  /// (normalized text, token postings, shingles, minhash signatures),
+  /// so a loader starts with a warm cache. Columns are taken from the
+  /// store's catalog — run the serving workload once before saving to
+  /// capture exactly the columns it needs.
+  bool include_features = true;
+};
+
+struct WriteInfo {
+  uint64_t file_bytes = 0;
+  uint32_t sections = 0;
+  uint32_t feature_sections = 0;
+};
+
+/// Serializes `dataset` (and, optionally, its built feature columns)
+/// into a `.sab` snapshot at `path` (see src/store/format.h for the
+/// layout). Overwrites any existing file. Returns an error Status on IO
+/// failure; never throws.
+Status WriteSnapshot(const std::string& path, const data::Dataset& dataset,
+                     const WriteOptions& options = {},
+                     WriteInfo* info = nullptr);
+
+}  // namespace sablock::store
+
+#endif  // SABLOCK_STORE_SNAPSHOT_WRITER_H_

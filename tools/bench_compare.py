@@ -22,6 +22,13 @@ name).  For every matched pair the tool checks:
     `latency.qps` may not drop by more than --max-regression percent.
     Baselines with p99 below --min-latency-us (default 5 us, timer
     noise) skip both checks, mirroring the --min-seconds floor.  Exit 1.
+  * snapshot IO: for runs carrying an `io` object (the snapshot_io
+    scenario, schema v3), `io.file_bytes` must match exactly (the
+    container layout is deterministic for a fixed corpus — any change
+    is a format change) and `io.cold_load_s` / `io.first_query_s` are
+    gated like build time (--max-regression above --min-seconds).  An
+    io section appearing or disappearing for a matched run is a
+    QUALITY problem.  Exit 1.
 
 When both suites carry the suite-level `metrics` snapshot (schema v2),
 the snapshots are diffed too:
@@ -48,7 +55,7 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def fail_usage(message):
@@ -146,6 +153,7 @@ def compare_runs(key, baseline, current, args, problems, notes):
             )
 
     compare_latency(key, baseline, current, args, problems, notes)
+    compare_io(key, baseline, current, args, problems, notes)
 
     old_time = baseline.get("time", {}).get("min_s")
     new_time = current.get("time", {}).get("min_s")
@@ -217,6 +225,48 @@ def compare_latency(key, baseline, current, args, problems, notes):
             notes.append(
                 f"throughput improved {-drop:.1f}% in {key_name(key)}"
                 f" ({old_qps:.4g} -> {new_qps:.4g} QPS)"
+            )
+
+
+def compare_io(key, baseline, current, args, problems, notes):
+    """Gates snapshot file size (exact) and load/first-query times."""
+    old_io = baseline.get("io")
+    new_io = current.get("io")
+    if old_io is None and new_io is None:
+        return
+    if (old_io is None) != (new_io is None):
+        problems.append(
+            f"QUALITY {key_name(key)}: io section"
+            f" {'appeared' if old_io is None else 'disappeared'}"
+        )
+        return
+    old_bytes, new_bytes = old_io.get("file_bytes"), new_io.get("file_bytes")
+    if old_bytes != new_bytes:
+        problems.append(
+            f"QUALITY {key_name(key)}: io.file_bytes changed"
+            f" {old_bytes!r} -> {new_bytes!r} (container format or"
+            " compression behaviour changed)"
+        )
+    for field, label in (
+        ("cold_load_s", "cold load"),
+        ("first_query_s", "first query"),
+    ):
+        old_t, new_t = old_io.get(field), new_io.get(field)
+        if old_t is None or new_t is None:
+            continue
+        if old_t < args.min_seconds:
+            continue  # too fast to compare meaningfully
+        regression = 100.0 * (new_t - old_t) / old_t
+        if regression > args.max_regression:
+            problems.append(
+                f"IO {key_name(key)}: {label} time regressed"
+                f" {regression:+.1f}% ({old_t:.4g}s -> {new_t:.4g}s,"
+                f" threshold {args.max_regression:.0f}%)"
+            )
+        elif regression < -args.max_regression:
+            notes.append(
+                f"{label} time improved {regression:+.1f}% in"
+                f" {key_name(key)} ({old_t:.4g}s -> {new_t:.4g}s)"
             )
 
 

@@ -12,6 +12,10 @@
 //               --pairs-out=pairs.csv
 //   sablock_cli --generate=voter --records=30000 --technique=tblo
 //               --attrs=first_name,last_name
+//   sablock_cli --input=voters.csv --entity-column=voter_id
+//               --save-snapshot=voters.sab
+//   sablock_cli --load-snapshot=voters.sab
+//               --technique "lsh:k=9,l=15,q=2,attrs=first_name+last_name"
 // (each invocation is a single command line; shown wrapped for width)
 
 #include <algorithm>
@@ -37,6 +41,8 @@
 #include "index/index_registry.h"
 #include "pipeline/pipeline.h"
 #include "pipeline/stage_registry.h"
+#include "store/snapshot.h"
+#include "store/snapshot_writer.h"
 
 namespace {
 
@@ -79,7 +85,8 @@ void PrintUsage() {
   std::printf(
       "usage: sablock_cli --list | --list-stages | --list-indexes\n"
       "       sablock_cli (--input=FILE [--entity-column=COL] |\n"
-      "                    --generate=cora|voter --records=N)\n"
+      "                    --generate=cora|voter --records=N |\n"
+      "                    --load-snapshot=FILE.sab)\n"
       "                   (--technique \"name:key=val,key=val,...\" |\n"
       "                    --pipeline \"blocker | stage:params | ...\")\n"
       "                   [--attrs=a,b[,c...]]  (default for attrs= param)\n"
@@ -90,6 +97,18 @@ void PrintUsage() {
       "                   [--merge=collect|stream]\n"
       "                   [--repeat=N]          (rerun build N times,\n"
       "                                          report min/mean time)\n"
+      "                   [--save-snapshot=FILE.sab]  (write the loaded\n"
+      "                                          dataset + feature cache\n"
+      "                                          as a mmap-able container;\n"
+      "                                          no --technique needed)\n"
+      "                   [--snapshot-raw]      (disable section\n"
+      "                                          compression)\n"
+      "                   [--snapshot-no-features]  (dataset core only)\n"
+      "\n"
+      "--save-snapshot without a --technique/--pipeline converts and\n"
+      "exits; with one, the snapshot is written after the runs (so the\n"
+      "feature cache the run warmed is captured). --load-snapshot maps\n"
+      "the container back zero-copy (see README \"Snapshots\").\n"
       "\n"
       "With --threads/--shards the sharded execution engine partitions\n"
       "the records and runs the technique per shard concurrently; blocks\n"
@@ -175,6 +194,77 @@ void ApplyLegacyFlags(const Flags& flags,
   }
 }
 
+/// Loads the dataset named by --input / --generate / --load-snapshot.
+/// Returns true and fills `out`; on failure prints the error (or the
+/// usage text when no source was given) and returns false.
+bool LoadDatasetFromFlags(const Flags& flags, sablock::data::Dataset* out) {
+  sablock::Status status;
+  if (flags.Has("load-snapshot")) {
+    sablock::store::SnapshotInfo info;
+    sablock::WallTimer timer;
+    status = sablock::store::LoadSnapshot(flags.Get("load-snapshot"), {},
+                                          out, &info);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.message().c_str());
+      return false;
+    }
+    std::printf("snapshot: %llu bytes, %u section(s), %u feature "
+                "section(s)%s, loaded in %.3fs\n",
+                static_cast<unsigned long long>(info.file_bytes),
+                info.sections, info.feature_sections,
+                info.any_compressed ? ", compressed" : "",
+                timer.Seconds());
+    return true;
+  }
+  if (flags.Has("input")) {
+    status = sablock::data::ReadCsv(flags.Get("input"),
+                                    flags.Get("entity-column"), out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.message().c_str());
+      return false;
+    }
+    return true;
+  }
+  if (flags.Get("generate") == "cora") {
+    sablock::data::CoraGeneratorConfig config;
+    config.num_records = static_cast<size_t>(flags.GetInt("records", 1879));
+    config.num_entities = std::max<size_t>(config.num_records / 10, 1);
+    *out = GenerateCoraLike(config);
+    return true;
+  }
+  if (flags.Get("generate") == "voter") {
+    sablock::data::VoterGeneratorConfig config;
+    config.num_records =
+        static_cast<size_t>(flags.GetInt("records", 30000));
+    *out = GenerateVoterLike(config);
+    return true;
+  }
+  PrintUsage();
+  return false;
+}
+
+/// Writes `dataset` (plus any feature columns its cache already holds,
+/// unless --snapshot-no-features) to the --save-snapshot path.
+int SaveSnapshotFromFlags(const Flags& flags,
+                          const sablock::data::Dataset& dataset) {
+  sablock::store::WriteOptions options;
+  options.compress = !flags.Has("snapshot-raw");
+  options.include_features = !flags.Has("snapshot-no-features");
+  sablock::store::WriteInfo info;
+  sablock::Status status = sablock::store::WriteSnapshot(
+      flags.Get("save-snapshot"), dataset, options, &info);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::printf("wrote snapshot %s: %llu bytes, %u section(s) "
+              "(%u feature)\n",
+              flags.Get("save-snapshot").c_str(),
+              static_cast<unsigned long long>(info.file_bytes),
+              info.sections, info.feature_sections);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,6 +284,16 @@ int main(int argc, char** argv) {
   if (flags.Has("list-indexes")) {
     PrintIndexes();
     return 0;
+  }
+
+  // --- snapshot conversion (no technique: load, write .sab, exit) -------
+  if (flags.Has("save-snapshot") && !flags.Has("technique") &&
+      !flags.Has("pipeline")) {
+    sablock::data::Dataset dataset;
+    if (!LoadDatasetFromFlags(flags, &dataset)) return 1;
+    std::printf("dataset: %zu records, %zu attributes\n", dataset.size(),
+                dataset.schema().size());
+    return SaveSnapshotFromFlags(flags, dataset);
   }
 
   // --- technique or pipeline (built from registry spec strings) ---------
@@ -260,28 +360,7 @@ int main(int argc, char** argv) {
 
   // --- dataset ----------------------------------------------------------
   sablock::data::Dataset dataset;
-  if (flags.Has("input")) {
-    status = sablock::data::ReadCsv(flags.Get("input"),
-                                    flags.Get("entity-column"), &dataset);
-    if (!status.ok()) {
-      std::fprintf(stderr, "error: %s\n", status.message().c_str());
-      return 1;
-    }
-  } else if (flags.Get("generate") == "cora") {
-    sablock::data::CoraGeneratorConfig config;
-    config.num_records =
-        static_cast<size_t>(flags.GetInt("records", 1879));
-    config.num_entities = std::max<size_t>(config.num_records / 10, 1);
-    dataset = GenerateCoraLike(config);
-  } else if (flags.Get("generate") == "voter") {
-    sablock::data::VoterGeneratorConfig config;
-    config.num_records =
-        static_cast<size_t>(flags.GetInt("records", 30000));
-    dataset = GenerateVoterLike(config);
-  } else {
-    PrintUsage();
-    return 1;
-  }
+  if (!LoadDatasetFromFlags(flags, &dataset)) return 1;
   std::printf("dataset: %zu records, %zu attributes\n", dataset.size(),
               dataset.schema().size());
 
@@ -323,6 +402,10 @@ int main(int argc, char** argv) {
   sablock::eval::Metrics metrics;
   double min_seconds = 0.0;
   double total_seconds = 0.0;
+  // The last repetition's cold copy outlives the loop: its feature cache
+  // is exactly what the technique warmed, so --save-snapshot captures
+  // the columns a future load of the same spec will need.
+  sablock::data::Dataset cold;
   for (int run = 0; run < repeat; ++run) {
     double seconds = 0.0;
     if (pipelined != nullptr) {
@@ -348,7 +431,7 @@ int main(int argc, char** argv) {
       // full end-to-end build; without this, runs 2..N would hit the
       // warm FeatureStore and the reported min/mean would exclude
       // extraction.
-      sablock::data::Dataset cold = dataset.ColdCopy();
+      cold = dataset.ColdCopy();
       sablock::WallTimer timer;
       if (use_engine) {
         // Execute honours the spec's merge mode (collect is
@@ -438,6 +521,13 @@ int main(int argc, char** argv) {
       }
       std::printf("wrote blocks to %s\n", flags.Get("blocks-out").c_str());
     }
+  }
+  if (flags.Has("save-snapshot")) {
+    // The technique path snapshots the run-warmed cold copy (same data,
+    // features built); the pipeline path detaches its cache internally,
+    // so the snapshot carries the dataset core only.
+    return SaveSnapshotFromFlags(flags,
+                                 pipelined == nullptr ? cold : dataset);
   }
   return 0;
 }
