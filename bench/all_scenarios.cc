@@ -22,6 +22,7 @@ void RegisterAllScenarios(report::BenchRegistry& registry) {
   RegisterMicro(registry);
   RegisterServiceLatency(registry);
   RegisterSnapshotIo(registry);
+  RegisterProgressiveRecall(registry);
 }
 
 void EnsureScenariosRegistered() {

@@ -47,6 +47,7 @@ void RegisterLshVariants(report::BenchRegistry& registry);
 void RegisterMicro(report::BenchRegistry& registry);
 void RegisterServiceLatency(report::BenchRegistry& registry);
 void RegisterSnapshotIo(report::BenchRegistry& registry);
+void RegisterProgressiveRecall(report::BenchRegistry& registry);
 
 }  // namespace sablock::bench
 

@@ -9,6 +9,7 @@
 
 #include "api/blocker_spec.h"
 #include "common/status.h"
+#include "common/statusor.h"
 #include "core/blocking.h"
 
 namespace sablock::api {
@@ -57,6 +58,17 @@ class BlockerRegistry {
   /// value because the factory consumes its parameter map.
   Status Create(BlockerSpec spec,
                 std::unique_ptr<core::BlockingTechnique>* out) const;
+
+  /// Value-returning form: every malformed spec (unknown technique, bad
+  /// parameter type, unknown or duplicate parameter) comes back as a
+  /// diagnostic Status — construction never CHECK-fails on user input.
+  StatusOr<std::unique_ptr<core::BlockingTechnique>> Create(
+      const std::string& spec_string) const {
+    std::unique_ptr<core::BlockingTechnique> technique;
+    Status status = Create(spec_string, &technique);
+    if (!status.ok()) return status;
+    return technique;
+  }
 
   /// True if `name` (canonical or alias, any case) is registered.
   bool Contains(const std::string& name) const;

@@ -1,0 +1,57 @@
+#ifndef SABLOCK_COMMON_STATUSOR_H_
+#define SABLOCK_COMMON_STATUSOR_H_
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace sablock {
+
+/// A Status or a value: the value-returning form of the library's fallible
+/// construction paths (registry Create, pipeline Build, Budget::Parse).
+/// Accessing the value of a non-OK StatusOr is a checked fatal error, so a
+/// caller must test ok() (or take status()) before dereferencing.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (OK).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Passing an OK status here is a
+  /// programming error (there would be no value to return).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    SABLOCK_CHECK_MSG(!status_.ok(), "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The contained value; fatal if !ok().
+  T& value() & {
+    SABLOCK_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  const T& value() const& {
+    SABLOCK_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T&& value() && {
+    SABLOCK_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace sablock
+
+#endif  // SABLOCK_COMMON_STATUSOR_H_

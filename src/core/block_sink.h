@@ -3,8 +3,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "core/budget.h"
 #include "data/record.h"
 
 namespace sablock::core {
@@ -21,10 +24,12 @@ using Block = std::vector<data::RecordId>;
 /// sink's Consume()/Done() must be called by one producer at a time.
 /// Concurrent producers (the sharded execution engine's stream mode)
 /// share one engine::ConcurrentSink wrapping the sink chain; it serializes
-/// every Consume() and Done() under a single mutex, which keeps stateful
-/// sinks such as CappedSink exactly as correct as in the single-threaded
-/// case. Running concurrent producers into a bare sink is a data race
-/// (caught by the tools/check.sh --tsan build).
+/// every Consume() and Done() under a single mutex. Budget accounting is
+/// the exception: BudgetedSink instances share one atomic BudgetMeter, so
+/// each concurrent producer gets its own BudgetedSink over a thread-safe
+/// downstream and no ConcurrentSink wrap is needed for the countdown
+/// itself. Running concurrent producers into any other bare stateful sink
+/// is a data race (caught by the tools/check.sh --tsan build).
 class BlockSink {
  public:
   virtual ~BlockSink() = default;
@@ -89,54 +94,66 @@ class PairCountingSink : public BlockSink {
   uint64_t max_block_size_ = 0;
 };
 
-/// Budgeted sink: forwards blocks to an inner sink until a comparison
-/// budget is spent, then reports Done so the producing technique can stop
-/// early (progressive / budgeted blocking). The budget is measured in
-/// redundancy-counting comparisons Σ|b|(|b|-1)/2; the block that crosses
-/// the budget is still forwarded, so the forwarded total may exceed the
-/// budget by less than one block.
+/// Budget gate on a block stream: forwards blocks to an inner sink while
+/// a shared BudgetMeter has budget, then reports Done so the producing
+/// technique can stop early (progressive / budgeted blocking). Each block
+/// spends its redundancy-counting comparisons |b|(|b|-1)/2; the block
+/// that crosses the budget is still forwarded, so the forwarded total may
+/// exceed the pair limit by less than one block per producer.
 ///
-/// Not safe for concurrent producers on its own: comparisons_ / done_ /
-/// dropped_blocks_ are plain fields, and Consume() must observe them and
-/// forward to the inner sink atomically (making the counters atomic would
-/// not make the inner forward safe). Multi-threaded producers must wrap
-/// the chain in engine::ConcurrentSink — its mutex serializes Consume()
-/// and Done(), so budget accounting, the done_ transition and the
-/// dropped-block count all stay exact (see concurrent_sink_test).
-class CappedSink : public BlockSink {
+/// The meter's countdown is atomic, so concurrent producers account
+/// against one global budget by giving each its own BudgetedSink over the
+/// same meter — no ConcurrentSink wrap is required for the budget itself
+/// (the inner sink still needs its own thread-safety if shared). The
+/// dropped-block counter is per-instance plain state, exact under the
+/// one-producer-per-sink contract.
+class BudgetedSink : public BlockSink {
  public:
-  CappedSink(BlockSink& inner, uint64_t comparison_budget)
-      : inner_(&inner), budget_(comparison_budget) {}
+  BudgetedSink(BlockSink& inner, std::shared_ptr<BudgetMeter> meter)
+      : inner_(&inner), meter_(std::move(meter)) {}
 
   void Consume(Block block) override {
-    if (done_) {
+    const uint64_t n = block.size();
+    if (!meter_->Spend(n * (n - 1) / 2)) {
       ++dropped_blocks_;
       return;
     }
-    const uint64_t n = block.size();
-    comparisons_ += n * (n - 1) / 2;
     inner_->Consume(std::move(block));
-    if (comparisons_ >= budget_) done_ = true;
   }
 
-  bool Done() const override { return done_; }
+  bool Done() const override {
+    return meter_->Exhausted() || inner_->Done();
+  }
 
   /// End-of-stream always reaches the inner chain, even once the budget
   /// is spent — a downstream barrier stage still needs its flush.
   void Flush() override { inner_->Flush(); }
 
-  /// Comparisons forwarded so far.
-  uint64_t comparisons() const { return comparisons_; }
+  const std::shared_ptr<BudgetMeter>& meter() const { return meter_; }
+
   /// Blocks received after the budget was exhausted (from techniques that
   /// cannot stop mid-phase). Zero when the producer honours Done().
   uint64_t dropped_blocks() const { return dropped_blocks_; }
 
  private:
   BlockSink* inner_;
-  uint64_t budget_;
-  uint64_t comparisons_ = 0;
+  std::shared_ptr<BudgetMeter> meter_;
   uint64_t dropped_blocks_ = 0;
-  bool done_ = false;
+};
+
+/// Back-compat shim over BudgetedSink (one release): the pre-Budget
+/// comparison cap. `CappedSink(inner, n)` ≡ BudgetedSink over a private
+/// meter with `pairs=n`. New code should construct a core::Budget and a
+/// BudgetedSink directly (sharing the meter across producers for global
+/// budgets); this alias keeps the old constructor and accessors compiling.
+class CappedSink : public BudgetedSink {
+ public:
+  CappedSink(BlockSink& inner, uint64_t comparison_budget)
+      : BudgetedSink(inner, std::make_shared<BudgetMeter>(Budget{
+                                .pairs = comparison_budget})) {}
+
+  /// Comparisons forwarded so far.
+  uint64_t comparisons() const { return meter()->Spent(); }
 };
 
 }  // namespace sablock::core

@@ -63,8 +63,9 @@ class BlockCollection : public BlockSink {
 ///
 /// The streaming Run(dataset, sink) is the primary virtual: techniques emit
 /// each block as it is built and poll sink.Done() to stop early. The
-/// materializing Run(dataset) is a convenience wrapper that collects into a
-/// BlockCollection.
+/// materializing Run(dataset) wrapper is deprecated (removal after one
+/// release): collect explicitly through a BlockCollection sink instead, so
+/// the call site states where materialization happens.
 class BlockingTechnique {
  public:
   virtual ~BlockingTechnique() = default;
@@ -76,6 +77,8 @@ class BlockingTechnique {
   virtual void Run(const data::Dataset& dataset, BlockSink& sink) const = 0;
 
   /// Builds and materializes all blocks (collecting-sink wrapper).
+  [[deprecated(
+      "collect through a BlockCollection sink: Run(dataset, collection)")]]
   BlockCollection Run(const data::Dataset& dataset) const;
 };
 

@@ -1,0 +1,114 @@
+#ifndef SABLOCK_CORE_PAIR_SINK_H_
+#define SABLOCK_CORE_PAIR_SINK_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/block_sink.h"
+#include "core/budget.h"
+#include "data/record.h"
+
+namespace sablock::core {
+
+/// One scored candidate comparison: a record pair and the scheduler's
+/// priority for it (higher = compare sooner). Pairs are normalized a < b.
+struct CandidatePair {
+  data::RecordId a = 0;
+  data::RecordId b = 0;
+  double score = 0.0;
+
+  friend bool operator==(const CandidatePair& x, const CandidatePair& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+};
+
+/// Streaming consumer of scored candidate pairs — the pair-level sibling
+/// of BlockSink. Progressive producers (the `progressive` stage, the
+/// query-progressive service verb) emit comparisons one at a time in
+/// best-first order, so a consumer can stop at any budget point and keep
+/// the highest-value prefix of the comparison stream.
+///
+/// Same thread-safety contract as BlockSink: not internally synchronized;
+/// one producer at a time unless externally serialized.
+class PairSink {
+ public:
+  virtual ~PairSink() = default;
+
+  /// Receives one candidate pair. Producers emit in decreasing priority.
+  virtual void Emit(CandidatePair pair) = 0;
+
+  /// Backpressure: once true the sink no longer wants pairs; producers
+  /// poll this in their emission loops and stop early.
+  virtual bool Done() const { return false; }
+
+  /// End-of-stream; called exactly once by the driving producer.
+  virtual void Flush() {}
+};
+
+/// Collecting PairSink: materializes the emitted order.
+class PairCollector : public PairSink {
+ public:
+  void Emit(CandidatePair pair) override { pairs_.push_back(pair); }
+
+  const std::vector<CandidatePair>& pairs() const { return pairs_; }
+  std::vector<CandidatePair> Take() { return std::move(pairs_); }
+
+ private:
+  std::vector<CandidatePair> pairs_;
+};
+
+/// Adapter from the pair stream back onto a BlockSink chain: each pair
+/// becomes a 2-record block, so every existing block consumer (eval
+/// harness, collectors, counting sinks) can sit downstream of a
+/// progressive producer unchanged.
+class PairToBlockSink : public PairSink {
+ public:
+  explicit PairToBlockSink(BlockSink& next) : next_(&next) {}
+
+  void Emit(CandidatePair pair) override {
+    next_->Consume(Block{pair.a, pair.b});
+  }
+
+  bool Done() const override { return next_->Done(); }
+
+  void Flush() override { next_->Flush(); }
+
+ private:
+  BlockSink* next_;
+};
+
+/// Budget gate on a pair stream: forwards pairs while a shared BudgetMeter
+/// has budget, accounting one pair per Emit. The meter's atomic countdown
+/// makes any number of concurrent BudgetedPairSinks (one per shard) share
+/// one global budget without extra locking.
+class BudgetedPairSink : public PairSink {
+ public:
+  BudgetedPairSink(PairSink& inner, std::shared_ptr<BudgetMeter> meter)
+      : inner_(&inner), meter_(std::move(meter)) {}
+
+  void Emit(CandidatePair pair) override {
+    if (!meter_->Spend(1)) {
+      ++dropped_pairs_;
+      return;
+    }
+    inner_->Emit(pair);
+  }
+
+  bool Done() const override { return meter_->Exhausted() || inner_->Done(); }
+
+  void Flush() override { inner_->Flush(); }
+
+  /// Pairs received after the budget was exhausted.
+  uint64_t dropped_pairs() const { return dropped_pairs_; }
+
+ private:
+  PairSink* inner_;
+  std::shared_ptr<BudgetMeter> meter_;
+  uint64_t dropped_pairs_ = 0;
+};
+
+}  // namespace sablock::core
+
+#endif  // SABLOCK_CORE_PAIR_SINK_H_

@@ -1,5 +1,7 @@
 #include "eval/metrics.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace sablock::eval {
@@ -45,6 +47,44 @@ Metrics Evaluate(const data::Dataset& dataset,
   m.fm = HarmonicMean(m.pc, m.pq);
   m.fm_star = HarmonicMean(m.pc, m.pq_star);
   return m;
+}
+
+std::vector<double> DefaultRecallFractions() {
+  return {0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0};
+}
+
+RecallCurve RecallAtBudget(const data::Dataset& dataset,
+                           const std::vector<core::CandidatePair>& ordered,
+                           uint64_t budget_pairs,
+                           const std::vector<double>& fractions) {
+  RecallCurve curve;
+  curve.budget_pairs =
+      std::min<uint64_t>(budget_pairs, ordered.size());
+  const uint64_t ground_truth = dataset.CountTrueMatchPairs();
+
+  // One pass over the emission order: matches found so far is monotone,
+  // so each ascending fraction just extends the walk.
+  uint64_t found = 0;
+  size_t walked = 0;
+  for (double fraction : fractions) {
+    uint64_t limit = static_cast<uint64_t>(
+        fraction * static_cast<double>(curve.budget_pairs) + 0.5);
+    limit = std::min<uint64_t>(limit, curve.budget_pairs);
+    while (walked < limit) {
+      const core::CandidatePair& pair = ordered[walked];
+      if (dataset.IsMatch(pair.a, pair.b)) ++found;
+      ++walked;
+    }
+    double recall = ground_truth > 0 ? static_cast<double>(found) /
+                                           static_cast<double>(ground_truth)
+                                     : 0.0;
+    curve.points.push_back({fraction, recall});
+    curve.auc += recall;
+  }
+  if (!curve.points.empty()) {
+    curve.auc /= static_cast<double>(curve.points.size());
+  }
+  return curve;
 }
 
 std::string Summary(const Metrics& m) {

@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/blocking.h"
+#include "core/pair_sink.h"
 #include "data/record.h"
 
 namespace sablock::eval {
@@ -42,6 +44,36 @@ Metrics Evaluate(const data::Dataset& dataset,
 
 /// Harmonic mean helper (0 when either input is 0).
 double HarmonicMean(double a, double b);
+
+/// One sample of a recall@budget curve: after spending `fraction` of the
+/// pair budget (comparing the first ⌈fraction·budget⌉ pairs of the
+/// emitted order), `recall` of the ground-truth matches were found.
+struct RecallPoint {
+  double fraction = 0.0;
+  double recall = 0.0;
+};
+
+/// The recall@budget curve of one progressive emission order — the
+/// pay-as-you-go quality profile progressive blocking is judged on. A
+/// better scheduler reaches every recall level with fewer comparisons,
+/// i.e. its curve dominates (lies above) a worse scheduler's at every
+/// fraction.
+struct RecallCurve {
+  uint64_t budget_pairs = 0;        ///< pairs covered by fraction=1.0
+  double auc = 0.0;                 ///< mean recall across the samples
+  std::vector<RecallPoint> points;  ///< ascending fraction
+};
+
+/// The default budget-fraction ladder sampled by RecallAtBudget.
+std::vector<double> DefaultRecallFractions();
+
+/// Walks `ordered` (a scheduler's best-first emission) and samples recall
+/// against `dataset`'s ground truth at each fraction of `budget_pairs`
+/// (capped at ordered.size()). Fractions must be ascending in (0, 1].
+RecallCurve RecallAtBudget(const data::Dataset& dataset,
+                           const std::vector<core::CandidatePair>& ordered,
+                           uint64_t budget_pairs,
+                           const std::vector<double>& fractions);
 
 /// One-line human-readable rendering: "PC=0.97 PQ=0.42 RR=0.99 FM=0.59".
 std::string Summary(const Metrics& m);

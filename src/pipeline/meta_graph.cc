@@ -46,10 +46,9 @@ uint64_t PairKey(uint32_t a, uint32_t b) {
 
 }  // namespace
 
-core::BlockCollection MetaPrune(size_t num_records,
-                                const core::BlockCollection& input,
-                                MetaWeighting weighting,
-                                MetaPruning pruning) {
+std::vector<WeightedPair> WeightPairs(size_t num_records,
+                                      const core::BlockCollection& input,
+                                      MetaWeighting weighting) {
   // Per-record block membership counts |B_i| and the edge accumulators.
   // The accumulator map is the hot path of every meta-blocking run — one
   // probe per candidate comparison — so it is an open-addressing FlatMap
@@ -109,24 +108,38 @@ core::BlockCollection MetaPrune(size_t num_records,
     return 0.0;
   };
 
-  struct WeightedEdge {
-    uint64_t key;
-    double weight;
-  };
-  std::vector<WeightedEdge> weighted;
+  std::vector<WeightedPair> weighted;
   weighted.reserve(edges.size());
-  double total_weight = 0.0;
   for (const auto& [key, acc] : edges) {
-    double w = weight_of(key, acc);
-    weighted.push_back({key, w});
-    total_weight += w;
+    weighted.push_back({key, weight_of(key, acc)});
+  }
+  return weighted;
+}
+
+core::BlockCollection MetaPrune(size_t num_records,
+                                const core::BlockCollection& input,
+                                MetaWeighting weighting,
+                                MetaPruning pruning) {
+  std::vector<WeightedPair> weighted =
+      WeightPairs(num_records, input, weighting);
+  const double num_edges =
+      std::max<double>(static_cast<double>(weighted.size()), 1.0);
+  double total_weight = 0.0;
+  for (const WeightedPair& e : weighted) total_weight += e.weight;
+
+  // Node degrees |v_i| (distinct co-occurring records), used by the
+  // node-centric prunings' thresholds.
+  std::vector<uint32_t> degree(num_records, 0);
+  for (const WeightedPair& e : weighted) {
+    ++degree[e.a()];
+    ++degree[e.b()];
   }
 
   std::vector<uint64_t> kept;
   switch (pruning) {
     case MetaPruning::kWep: {
-      double mean = edges.empty() ? 0.0 : total_weight / num_edges;
-      for (const WeightedEdge& e : weighted) {
+      double mean = weighted.empty() ? 0.0 : total_weight / num_edges;
+      for (const WeightedPair& e : weighted) {
         if (e.weight >= mean) kept.push_back(e.key);
       }
       break;
@@ -137,7 +150,7 @@ core::BlockCollection MetaPrune(size_t num_records,
       std::partial_sort(weighted.begin(),
                         weighted.begin() + static_cast<ptrdiff_t>(budget),
                         weighted.end(),
-                        [](const WeightedEdge& x, const WeightedEdge& y) {
+                        [](const WeightedPair& x, const WeightedPair& y) {
                           return x.weight > y.weight;
                         });
       for (size_t i = 0; i < budget; ++i) kept.push_back(weighted[i].key);
@@ -147,11 +160,11 @@ core::BlockCollection MetaPrune(size_t num_records,
       // Node-local mean thresholds; keep an edge if it clears the threshold
       // of either endpoint (the union of the node-centric retained sets).
       std::vector<double> sum(num_records, 0.0);
-      for (const WeightedEdge& e : weighted) {
+      for (const WeightedPair& e : weighted) {
         sum[static_cast<uint32_t>(e.key >> 32)] += e.weight;
         sum[static_cast<uint32_t>(e.key & 0xffffffffULL)] += e.weight;
       }
-      for (const WeightedEdge& e : weighted) {
+      for (const WeightedPair& e : weighted) {
         uint32_t a = static_cast<uint32_t>(e.key >> 32);
         uint32_t b = static_cast<uint32_t>(e.key & 0xffffffffULL);
         double thr_a = degree[a] > 0 ? sum[a] / degree[a] : 0.0;
@@ -167,7 +180,7 @@ core::BlockCollection MetaPrune(size_t num_records,
       // Gather each node's incident edges, keep its top-k, union them.
       std::vector<std::vector<std::pair<double, uint64_t>>> incident(
           num_records);
-      for (const WeightedEdge& e : weighted) {
+      for (const WeightedPair& e : weighted) {
         incident[static_cast<uint32_t>(e.key >> 32)].emplace_back(e.weight,
                                                                   e.key);
         incident[static_cast<uint32_t>(e.key & 0xffffffffULL)].emplace_back(

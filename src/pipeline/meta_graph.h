@@ -2,6 +2,8 @@
 #define SABLOCK_PIPELINE_META_GRAPH_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "core/blocking.h"
 
@@ -28,6 +30,28 @@ enum class MetaPruning {
 
 const char* MetaWeightingName(MetaWeighting w);
 const char* MetaPruningName(MetaPruning p);
+
+/// One edge of the blocking graph: a packed record pair and its weight.
+/// `key` is (uint64(min_id) << 32) | max_id, so sorting by key sorts by
+/// (a, b) — the canonical pair order used everywhere weights are ranked.
+struct WeightedPair {
+  uint64_t key = 0;
+  double weight = 0.0;
+
+  uint32_t a() const { return static_cast<uint32_t>(key >> 32); }
+  uint32_t b() const { return static_cast<uint32_t>(key & 0xffffffffULL); }
+};
+
+/// The weighting phase of meta-blocking as a first-class API: builds the
+/// blocking graph of `input` (record ids in [0, num_records)) and returns
+/// every distinct edge with its weight under `weighting`, one entry per
+/// pair, in the graph's deterministic accumulation order. This is what
+/// MetaPrune prunes — exposed separately so progressive schedulers (and
+/// any future learned pruning) can rank the same per-pair weights without
+/// committing to a pruning algorithm.
+std::vector<WeightedPair> WeightPairs(size_t num_records,
+                                      const core::BlockCollection& input,
+                                      MetaWeighting weighting);
 
 /// The graph phase of meta-blocking, reusable by any pipeline: builds the
 /// blocking graph of `input` (whose record ids must lie in

@@ -7,6 +7,7 @@
 
 #include "api/pipeline_spec.h"
 #include "common/status.h"
+#include "common/statusor.h"
 #include "core/blocking.h"
 #include "obs/span.h"
 #include "pipeline/stage.h"
@@ -149,6 +150,17 @@ Status Build(api::PipelineSpec spec, std::unique_ptr<PipelinedBlocker>* out);
 /// zero-stage pipeline.
 Status Build(const std::string& spec_string,
              std::unique_ptr<PipelinedBlocker>* out);
+
+/// Value-returning form: every malformed pipeline spec (unknown blocker
+/// or stage, bad parameter, empty segment) is a diagnostic Status, never
+/// a CHECK failure.
+inline StatusOr<std::unique_ptr<PipelinedBlocker>> Build(
+    const std::string& spec_string) {
+  std::unique_ptr<PipelinedBlocker> built;
+  Status status = Build(spec_string, &built);
+  if (!status.ok()) return status;
+  return built;
+}
 
 }  // namespace sablock::pipeline
 

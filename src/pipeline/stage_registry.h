@@ -11,6 +11,7 @@
 #include "api/blocker_spec.h"
 #include "api/registry.h"
 #include "common/status.h"
+#include "common/statusor.h"
 #include "pipeline/stage.h"
 
 namespace sablock::pipeline {
@@ -54,6 +55,16 @@ class StageRegistry {
   /// parameter map.
   Status Create(api::BlockerSpec spec,
                 std::unique_ptr<PipelineStage>* out) const;
+
+  /// Value-returning form: malformed stage specs come back as diagnostic
+  /// Statuses, never CHECK failures.
+  StatusOr<std::unique_ptr<PipelineStage>> Create(
+      const std::string& spec_string) const {
+    std::unique_ptr<PipelineStage> stage;
+    Status status = Create(spec_string, &stage);
+    if (!status.ok()) return status;
+    return stage;
+  }
 
   /// True if `name` (canonical or alias, any case) is registered.
   bool Contains(const std::string& name) const;

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <utility>
 
+#include "core/budget.h"
 #include "pipeline/stage_registry.h"
+#include "progressive/progressive_stage.h"
+#include "progressive/scheduler.h"
 
 namespace sablock::pipeline {
 
@@ -166,6 +170,44 @@ void RegisterBuiltinStages(StageRegistry& r) {
              {"wnp", MetaPruning::kWnp},
              {"cnp", MetaPruning::kCnp}});
         *out = std::make_unique<MetaStage>(weighting, pruning);
+        return Status::Ok();
+      });
+
+  r.Register(
+      {"progressive",
+       "progressive emission (barrier): rank every distinct candidate "
+       "pair best-first and emit pair blocks under a Budget",
+       {},
+       {{"sched", "ew-cbs",
+         "scheduler (bsa|ew-arcs|ew-cbs|ew-ecbs|ew-js|ew-ejs|rr|random)"},
+        {"pairs", "unlimited", "pair budget (>= 1; omit for unlimited)"},
+        {"seconds", "unlimited", "wall-clock budget in seconds (> 0)"},
+        {"recall-target", "off",
+         "stop at this recall in (0, 1]; needs ground truth"},
+        {"seed", "42", "shuffle seed for sched=random"}}},
+      [](api::ParamMap& p, std::unique_ptr<PipelineStage>* out) {
+        std::string sched = p.GetString("sched", "ew-cbs");
+        core::Budget budget;
+        budget.pairs = p.GetUint64("pairs", core::Budget::kUnlimitedPairs);
+        budget.seconds = p.GetDouble("seconds", 0.0);
+        budget.recall_target = p.GetDouble("recall-target", 0.0);
+        uint64_t seed = p.GetUint64("seed", 42);
+        if (budget.pairs < 1) {
+          return Status::Error("param 'pairs': must be >= 1");
+        }
+        if (budget.seconds < 0.0) {
+          return Status::Error("param 'seconds': must be > 0");
+        }
+        if (budget.recall_target < 0.0 || budget.recall_target > 1.0) {
+          return Status::Error("param 'recall-target': must be in (0, 1]");
+        }
+        std::unique_ptr<progressive::PairScheduler> scheduler;
+        Status status = progressive::MakeScheduler(sched, seed, &scheduler);
+        if (!status.ok()) return status;
+        *out = std::make_unique<progressive::ProgressiveStage>(
+            std::shared_ptr<const progressive::PairScheduler>(
+                std::move(scheduler)),
+            budget, seed);
         return Status::Ok();
       });
 }

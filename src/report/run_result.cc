@@ -81,6 +81,21 @@ Json ToJson(const IoStats& stats) {
   return j;
 }
 
+Json ToJson(const eval::RecallCurve& curve) {
+  Json j = Json::Object();
+  j.Set("budget_pairs", curve.budget_pairs);
+  j.Set("auc", curve.auc);
+  Json points = Json::Array();
+  for (const eval::RecallPoint& point : curve.points) {
+    Json p = Json::Object();
+    p.Set("fraction", point.fraction);
+    p.Set("recall", point.recall);
+    points.Append(std::move(p));
+  }
+  j.Set("points", std::move(points));
+  return j;
+}
+
 Json ToJson(const eval::Metrics& m) {
   Json j = Json::Object();
   j.Set("pc", m.pc);
@@ -214,6 +229,25 @@ Status MetricsFromJson(const Json& json, eval::Metrics* out) {
   return Status::Ok();
 }
 
+Status RecallCurveFromJson(const Json& json, eval::RecallCurve* out) {
+  if (json.type() != Json::Type::kObject) return Missing("recall");
+  SABLOCK_RETURN_IF_ERROR(
+      ReadUint(json, "budget_pairs", true, &out->budget_pairs));
+  SABLOCK_RETURN_IF_ERROR(ReadDouble(json, "auc", true, &out->auc));
+  const Json* points = json.Find("points");
+  if (points == nullptr || points->type() != Json::Type::kArray) {
+    return Missing("recall.points");
+  }
+  for (const Json& entry : points->items()) {
+    eval::RecallPoint point;
+    SABLOCK_RETURN_IF_ERROR(
+        ReadDouble(entry, "fraction", true, &point.fraction));
+    SABLOCK_RETURN_IF_ERROR(ReadDouble(entry, "recall", true, &point.recall));
+    out->points.push_back(point);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Json ToJson(const RunResult& run) {
@@ -241,6 +275,7 @@ Json ToJson(const RunResult& run) {
   if (run.has_metrics) j.Set("metrics", ToJson(run.metrics));
   if (run.has_latency) j.Set("latency", ToJson(run.latency));
   if (run.has_io) j.Set("io", ToJson(run.io));
+  if (run.has_recall) j.Set("recall", ToJson(run.recall));
   if (!run.values.empty()) {
     Json values = Json::Object();
     for (const auto& [key, value] : run.values) values.Set(key, value);
@@ -314,6 +349,10 @@ Status RunResultFromJson(const Json& json, RunResult* out) {
   if (const Json* io = json.Find("io")) {
     SABLOCK_RETURN_IF_ERROR(IoStatsFromJson(*io, &out->io));
     out->has_io = true;
+  }
+  if (const Json* recall = json.Find("recall")) {
+    SABLOCK_RETURN_IF_ERROR(RecallCurveFromJson(*recall, &out->recall));
+    out->has_recall = true;
   }
   if (const Json* values = json.Find("values")) {
     if (values->type() != Json::Type::kObject) return Missing("values");

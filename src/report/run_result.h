@@ -20,7 +20,9 @@ namespace sablock::report {
 /// process's obs::MetricsSnapshot (see obs/export.h for the shape).
 /// v3: runs carry an optional `io` object (snapshot file size +
 /// cold-load and first-query wall times; the `snapshot_io` scenario).
-inline constexpr int kSchemaVersion = 3;
+/// v4: runs carry an optional `recall` object (the recall@budget curve
+/// of a progressive emission order; the `progressive_recall` scenario).
+inline constexpr int kSchemaVersion = 4;
 
 /// Wall-time statistics over a run's timing repetitions (seconds). For
 /// micro-benchmarks the same shape carries seconds *per operation*.
@@ -98,6 +100,12 @@ struct RunResult {
   LatencyStats latency;
   bool has_io = false;
   IoStats io;
+  /// Progressive axis (schema v4): the run's recall@budget curve
+  /// (eval::RecallAtBudget output). Deterministic for a fixed corpus and
+  /// emission order; compared exactly by bench_compare.py and gated by
+  /// its --min-auc flag.
+  bool has_recall = false;
+  eval::RecallCurve recall;
   std::vector<std::pair<std::string, double>> values;
 
   void AddParam(std::string key, std::string value) {

@@ -50,6 +50,7 @@ OpMetrics& MetricsFor(uint8_t op) {
   static OpMetrics& stats = *new OpMetrics("stats");
   static OpMetrics& remove = *new OpMetrics("remove");
   static OpMetrics& metrics = *new OpMetrics("metrics");
+  static OpMetrics& query_progressive = *new OpMetrics("query_progressive");
   static OpMetrics& unknown = *new OpMetrics("unknown");
   switch (static_cast<Op>(op)) {
     case Op::kInsert: return insert;
@@ -58,6 +59,7 @@ OpMetrics& MetricsFor(uint8_t op) {
     case Op::kStats: return stats;
     case Op::kRemove: return remove;
     case Op::kMetrics: return metrics;
+    case Op::kQueryProgressive: return query_progressive;
   }
   return unknown;
 }
@@ -248,6 +250,32 @@ std::string CandidateServer::Handle(std::string_view request) const {
       if (!r.Finished()) return ErrorResponse("trailing metrics bytes");
       w.U8(kStatusOk);
       w.Str(obs::ToPrometheusText(obs::MetricsRegistry::Global().Snapshot()));
+      return w.bytes();
+    }
+    case Op::kQueryProgressive: {
+      if (!ReadValueList(r, arity, &values)) {
+        return ErrorResponse("malformed progressive query (expected " +
+                             std::to_string(arity) + " values)");
+      }
+      std::string budget_spec(r.Str());
+      if (!r.ok() || !r.Finished()) {
+        return ErrorResponse("malformed progressive query budget");
+      }
+      core::Budget budget;
+      Status status = core::Budget::Parse(budget_spec, &budget);
+      if (!status.ok()) return ErrorResponse(status.message());
+      std::vector<CandidateService::ScoredCandidate> candidates;
+      status = service_->QueryProgressive(values, budget, &candidates);
+      if (!status.ok()) return ErrorResponse(status.message());
+      w.U8(kStatusOk);
+      w.U32(static_cast<uint32_t>(candidates.size()));
+      for (const CandidateService::ScoredCandidate& c : candidates) {
+        w.U32(c.id);
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(c.score));
+        std::memcpy(&bits, &c.score, sizeof(bits));
+        w.U64(bits);
+      }
       return w.bytes();
     }
   }

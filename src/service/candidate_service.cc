@@ -1,9 +1,12 @@
 #include "service/candidate_service.h"
 
+#include <algorithm>
 #include <mutex>
+#include <set>
 #include <utility>
 
 #include "common/check.h"
+#include "common/string_util.h"
 #include "common/timer.h"
 #include "index/index_registry.h"
 
@@ -72,6 +75,68 @@ std::vector<data::RecordId> CandidateService::Query(
   std::vector<data::RecordId> ids = index_->Query(values);
   query_seconds_->Observe(timer.Seconds());
   return ids;
+}
+
+namespace {
+
+/// Normalized token set of a row, the scoring unit of QueryProgressive.
+std::set<std::string> TokenSet(std::span<const std::string_view> values) {
+  std::set<std::string> tokens;
+  for (std::string_view value : values) {
+    for (std::string& token : SplitWords(NormalizeForMatching(value))) {
+      tokens.insert(std::move(token));
+    }
+  }
+  return tokens;
+}
+
+double TokenJaccard(const std::set<std::string>& probe,
+                    const std::set<std::string>& row) {
+  if (probe.empty() || row.empty()) return 0.0;
+  size_t common = 0;
+  for (const std::string& token : probe) common += row.count(token);
+  size_t unioned = probe.size() + row.size() - common;
+  return unioned > 0
+             ? static_cast<double>(common) / static_cast<double>(unioned)
+             : 0.0;
+}
+
+}  // namespace
+
+Status CandidateService::QueryProgressive(
+    std::span<const std::string_view> values, const core::Budget& budget,
+    std::vector<ScoredCandidate>* out) const {
+  SABLOCK_CHECK_MSG(values.size() == schema_.size(),
+                    "value count does not match the schema");
+  out->clear();
+  if (budget.recall_target > 0.0) {
+    return Status::Error(
+        "budget term 'recall-target' needs ground truth and is eval-only; "
+        "use pairs= and/or seconds= for serving");
+  }
+  std::shared_lock lock(mu_);
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  WallTimer timer;
+  core::BudgetMeter meter(budget);  // arms the seconds deadline
+  std::vector<data::RecordId> ids = index_->Query(values);
+  const std::set<std::string> probe = TokenSet(values);
+  out->reserve(ids.size());
+  for (data::RecordId id : ids) {
+    if (meter.budget().seconds > 0.0 && meter.Exhausted()) break;
+    out->push_back({id, TokenJaccard(probe, TokenSet(dataset_.Values(id)))});
+  }
+  // Best first, deterministically: the budget keeps the highest-value
+  // prefix of the comparison order, which is the whole point.
+  std::sort(out->begin(), out->end(),
+            [](const ScoredCandidate& x, const ScoredCandidate& y) {
+              if (x.score != y.score) return x.score > y.score;
+              return x.id < y.id;
+            });
+  if (out->size() > budget.pairs) {
+    out->resize(static_cast<size_t>(budget.pairs));
+  }
+  query_seconds_->Observe(timer.Seconds());
+  return Status::Ok();
 }
 
 bool CandidateService::Remove(data::RecordId id) {

@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "core/block_sink.h"
+#include "core/budget.h"
 #include "data/record.h"
 #include "index/incremental_index.h"
 #include "obs/metrics.h"
@@ -44,6 +45,23 @@ class CandidateService {
   /// Candidate ids for a probe (see IncrementalIndex::Query).
   std::vector<data::RecordId> Query(
       std::span<const std::string_view> values) const;
+
+  /// One scored candidate of a progressive query: a record the probe
+  /// should be compared against, with the serving-side priority score
+  /// (token Jaccard between probe and stored row; higher = likelier).
+  struct ScoredCandidate {
+    data::RecordId id = 0;
+    double score = 0.0;
+  };
+
+  /// Budget-aware query: ranks the index's candidates for the probe
+  /// best-first and returns at most `budget.pairs` of them (a pair here
+  /// is one probe-vs-record comparison), stopping early on a `seconds`
+  /// deadline. `recall-target` budgets are eval-only and rejected. Order
+  /// is deterministic: score descending, id ascending on ties.
+  Status QueryProgressive(std::span<const std::string_view> values,
+                          const core::Budget& budget,
+                          std::vector<ScoredCandidate>* out) const;
 
   /// Un-indexes a record; false if not live. The dataset row remains (ids
   /// are append-only positions), it just stops matching probes.

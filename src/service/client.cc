@@ -137,6 +137,36 @@ Status CandidateClient::Query(std::span<const std::string_view> values,
   return Status::Ok();
 }
 
+Status CandidateClient::QueryProgressive(
+    std::span<const std::string_view> values, const std::string& budget_spec,
+    std::vector<std::pair<data::RecordId, double>>* candidates) {
+  WireWriter w;
+  BeginRequest(Op::kQueryProgressive, &w);
+  AppendValueList(values, &w);
+  w.Str(budget_spec);
+  std::string response;
+  Status s = Call(w, &response);
+  if (!s.ok()) return s;
+  WireReader r(response);
+  s = CheckResponse(r);
+  if (!s.ok()) return s;
+  uint32_t count = r.U32();
+  candidates->clear();
+  candidates->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    data::RecordId id = r.U32();
+    uint64_t bits = r.U64();
+    double score;
+    static_assert(sizeof(bits) == sizeof(score));
+    std::memcpy(&score, &bits, sizeof(score));
+    candidates->emplace_back(id, score);
+  }
+  if (!r.Finished()) {
+    return Status::Error("malformed progressive query response");
+  }
+  return Status::Ok();
+}
+
 Status CandidateClient::BatchQuery(
     const std::vector<std::vector<std::string>>& probes,
     std::vector<std::vector<data::RecordId>>* candidates) {

@@ -4,6 +4,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -40,6 +41,13 @@ class CandidateClient {
   /// Candidate ids for one probe.
   Status Query(std::span<const std::string_view> values,
                std::vector<data::RecordId>* candidates);
+
+  /// Budget-aware query: scored candidates best-first under `budget_spec`
+  /// (core::Budget grammar, e.g. "pairs=100"; empty = unlimited). Each
+  /// result is (record id, serving-side priority score).
+  Status QueryProgressive(
+      std::span<const std::string_view> values, const std::string& budget_spec,
+      std::vector<std::pair<data::RecordId, double>>* candidates);
 
   /// Candidate ids for many probes in one round trip.
   Status BatchQuery(

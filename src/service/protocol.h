@@ -36,6 +36,11 @@ namespace sablock::service {
 ///                                         metrics snapshot in Prometheus
 ///                                         text exposition format (the
 ///                                         "STATS" verb of the CLI)
+///   kQueryProgressive: value list, budget spec string (core::Budget
+///                grammar, e.g. "pairs=100"; empty = unlimited)
+///                                       -> uint32 count, count x
+///                                         (uint32 id, uint64 score bits —
+///                                         an IEEE double, best first)
 enum class Op : uint8_t {
   kInsert = 1,
   kQuery = 2,
@@ -43,6 +48,7 @@ enum class Op : uint8_t {
   kStats = 4,
   kRemove = 5,
   kMetrics = 6,
+  kQueryProgressive = 7,
 };
 
 /// Opcode flag marking a traced request (uint64 trace id follows the

@@ -84,6 +84,7 @@ TEST(StageRegistryTest, ListsBuiltinStagesWithParamDocs) {
     }
   }
   EXPECT_EQ(names, (std::vector<std::string>{"cap", "filter", "meta",
+                                             "progressive",
                                              "purge"}));  // sorted
   EXPECT_TRUE(StageRegistry::Global().Contains("PURGE"));  // any case
   EXPECT_TRUE(StageRegistry::Global().Contains("block-purging"));  // alias

@@ -22,6 +22,15 @@ name).  For every matched pair the tool checks:
     `latency.qps` may not drop by more than --max-regression percent.
     Baselines with p99 below --min-latency-us (default 5 us, timer
     noise) skip both checks, mirroring the --min-seconds floor.  Exit 1.
+  * recall@budget: for runs carrying a `recall` object (the
+    progressive_recall scenario, schema v4), `recall.budget_pairs`,
+    `recall.auc` and every sampled `(fraction, recall)` point must match
+    exactly — the curve is deterministic for a fixed corpus and
+    scheduler, so any drift is a scheduling behaviour change.  A recall
+    section appearing or disappearing for a matched run is a QUALITY
+    problem.  With --min-auc, every current run named something other
+    than "random" that carries a recall curve must reach at least that
+    AUC.  Exit 1.
   * snapshot IO: for runs carrying an `io` object (the snapshot_io
     scenario, schema v3), `io.file_bytes` must match exactly (the
     container layout is deterministic for a fixed corpus — any change
@@ -55,7 +64,7 @@ import argparse
 import json
 import sys
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def fail_usage(message):
@@ -154,6 +163,7 @@ def compare_runs(key, baseline, current, args, problems, notes):
 
     compare_latency(key, baseline, current, args, problems, notes)
     compare_io(key, baseline, current, args, problems, notes)
+    compare_recall(key, baseline, current, args, problems, notes)
 
     old_time = baseline.get("time", {}).get("min_s")
     new_time = current.get("time", {}).get("min_s")
@@ -270,6 +280,59 @@ def compare_io(key, baseline, current, args, problems, notes):
             )
 
 
+def compare_recall(key, baseline, current, args, problems, notes):
+    """Exact comparison of the recall@budget curve (deterministic)."""
+    old_recall = baseline.get("recall")
+    new_recall = current.get("recall")
+    if old_recall is None and new_recall is None:
+        return
+    if (old_recall is None) != (new_recall is None):
+        problems.append(
+            f"QUALITY {key_name(key)}: recall section"
+            f" {'appeared' if old_recall is None else 'disappeared'}"
+        )
+        return
+    compare_exact(
+        key,
+        "recall",
+        {k: old_recall.get(k) for k in ("budget_pairs", "auc")},
+        {k: new_recall.get(k) for k in ("budget_pairs", "auc")},
+        problems,
+    )
+    old_points = old_recall.get("points", [])
+    new_points = new_recall.get("points", [])
+    if [p.get("fraction") for p in old_points] != [
+        p.get("fraction") for p in new_points
+    ]:
+        problems.append(
+            f"QUALITY {key_name(key)}: recall fraction ladder changed"
+        )
+        return
+    for old, new in zip(old_points, new_points):
+        if old.get("recall") != new.get("recall"):
+            problems.append(
+                f"QUALITY {key_name(key)}: recall at fraction"
+                f" {old.get('fraction')!r} changed"
+                f" {old.get('recall')!r} -> {new.get('recall')!r}"
+            )
+
+
+def gate_min_auc(current, args, problems):
+    """--min-auc: every non-random current run with a curve must reach it."""
+    if args.min_auc is None:
+        return
+    for key, run in sorted(current.items()):
+        recall = run.get("recall")
+        if recall is None or run.get("name") == "random":
+            continue
+        auc = recall.get("auc", 0.0)
+        if auc < args.min_auc:
+            problems.append(
+                f"RECALL {key_name(key)}: auc {auc:.4f} below the"
+                f" --min-auc floor {args.min_auc:.4f}"
+            )
+
+
 def counter_samples(families, name):
     """Maps label -> value for one counter family ({} when absent)."""
     for family in families:
@@ -363,6 +426,14 @@ def main():
         help="skip latency comparison below this baseline p99 (default 5)",
     )
     parser.add_argument(
+        "--min-auc",
+        type=float,
+        default=None,
+        metavar="AUC",
+        help="fail when a current run's recall.auc (non-random runs only)"
+        " is below this floor",
+    )
+    parser.add_argument(
         "--strict-runs",
         action="store_true",
         help="fail when a run exists in only one file",
@@ -413,6 +484,7 @@ def main():
     compare_metrics_snapshots(
         baseline_suite, current_suite, args, problems, notes
     )
+    gate_min_auc(current, args, problems)
 
     for note in notes:
         print(f"note: {note}")

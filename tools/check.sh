@@ -4,8 +4,8 @@
 #
 # Modes:
 #   tools/check.sh           full: configure, build, whole test suite
-#   tools/check.sh --quick   fast local iteration: build + the unit- and
-#       snapshot-labelled tests only (skips the slow golden
+#   tools/check.sh --quick   fast local iteration: build + the unit-,
+#       snapshot- and progressive-labelled tests only (skips the slow golden
 #       reproductions and the multi-threaded concurrency tests — run
 #       the full suite or the sanitizer modes before shipping)
 #   tools/check.sh --tsan    builds with -DSABLOCK_SANITIZE=thread (into
@@ -52,7 +52,7 @@ case "$mode" in
   --quick)
     cmake -B build -S .
     cmake --build build -j
-    run_ctest build -L 'unit|snapshot' -j
+    run_ctest build -L 'unit|snapshot|progressive' -j
     ;;
   "")
     cmake -B build -S .

@@ -32,6 +32,8 @@
 #include "api/registry.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "core/block_sink.h"
+#include "core/budget.h"
 #include "engine/sharded_executor.h"
 #include "data/cora_generator.h"
 #include "data/csv.h"
@@ -95,6 +97,9 @@ void PrintUsage() {
       "                   [--threads=N]         (parallel engine workers)\n"
       "                   [--shards=M]          (record shards; 0=threads)\n"
       "                   [--merge=collect|stream]\n"
+      "                   [--budget \"pairs=N,seconds=S\"]  (stop once the\n"
+      "                                          emitted comparisons or\n"
+      "                                          wall clock hit the cap)\n"
       "                   [--repeat=N]          (rerun build N times,\n"
       "                                          report min/mean time)\n"
       "                   [--save-snapshot=FILE.sab]  (write the loaded\n"
@@ -120,6 +125,12 @@ void PrintUsage() {
       "and reports per-stage block/pair counts and timings. Under\n"
       "--threads/--shards the generator runs sharded while the stages run\n"
       "once, globally (barrier stages fire at merge).\n"
+      "\n"
+      "--budget takes the unified core::Budget grammar (pairs=N,\n"
+      "seconds=S; \"inf\" = unlimited) and bounds what reaches the\n"
+      "output: blocks stop being collected once their comparisons\n"
+      "exhaust the budget. recall-target= budgets are pipeline-only —\n"
+      "use the progressive stage (--pipeline \"... | progressive:...\").\n"
       "\n"
       "The technique spec drives the blocker registry; legacy flags\n"
       "(--k, --l, --q, --w, --mode, --window, --probes, --domain,\n"
@@ -389,6 +400,25 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // --- budget (unified core::Budget grammar, bounds collected output) ---
+  sablock::core::Budget budget;
+  const bool use_budget = flags.Has("budget");
+  if (use_budget) {
+    status = sablock::core::Budget::Parse(flags.Get("budget"), &budget);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.message().c_str());
+      return 1;
+    }
+    if (budget.recall_target > 0.0) {
+      std::fprintf(stderr,
+                   "error: recall-target budgets need pair-level scoring — "
+                   "use the progressive pipeline stage, e.g.\n"
+                   "  --pipeline \"tblo | progressive:sched=ew-cbs,"
+                   "recall-target=0.9\"\n");
+      return 1;
+    }
+  }
+
   const int repeat = std::max(flags.GetInt("repeat", 1), 1);
   // Any engine flag routes through the executor (its one-shard fast path
   // is identical to a plain run), so no flag is ever silently ignored.
@@ -406,9 +436,28 @@ int main(int argc, char** argv) {
   // is exactly what the technique warmed, so --save-snapshot captures
   // the columns a future load of the same spec will need.
   sablock::data::Dataset cold;
+  // The last repetition's meter survives the loop for the budget report.
+  std::shared_ptr<sablock::core::BudgetMeter> meter;
   for (int run = 0; run < repeat; ++run) {
     double seconds = 0.0;
-    if (pipelined != nullptr) {
+    if (use_budget) meter = std::make_shared<sablock::core::BudgetMeter>(budget);
+    if (use_budget && pipelined != nullptr) {
+      // Budgeted pipeline: the stage chain runs in full (barrier stages
+      // need the whole stream); the budget gates what reaches the
+      // collection. Bypasses the eval harness, so no per-stage table.
+      cold = dataset.ColdCopy();
+      sablock::WallTimer timer;
+      blocks = sablock::core::BlockCollection();
+      if (use_engine) {
+        executor.ExecutePipeline(pipelined->blocker(), pipelined->stages(),
+                                 cold, blocks, meter);
+      } else {
+        sablock::core::BudgetedSink budgeted(blocks, meter);
+        pipelined->Run(cold, budgeted);
+      }
+      seconds = timer.Seconds();
+      stage_counts.clear();
+    } else if (pipelined != nullptr) {
       // RunPipeline detaches the feature cache itself (cold-path timing)
       // and interposes counting sinks after the generator and every
       // stage. With engine flags the generator runs sharded and the
@@ -438,10 +487,19 @@ int main(int argc, char** argv) {
         // deterministic; stream collects in arrival order through a
         // ConcurrentSink).
         blocks = sablock::core::BlockCollection();
-        executor.Execute(*technique, cold, blocks);
+        if (use_budget) {
+          executor.Execute(*technique, cold, blocks, meter);
+        } else {
+          executor.Execute(*technique, cold, blocks);
+        }
       } else {
         blocks = sablock::core::BlockCollection();
-        technique->Run(cold, blocks);
+        if (use_budget) {
+          sablock::core::BudgetedSink budgeted(blocks, meter);
+          technique->Run(cold, budgeted);
+        } else {
+          technique->Run(cold, blocks);
+        }
       }
       seconds = timer.Seconds();
     }
@@ -450,8 +508,9 @@ int main(int argc, char** argv) {
   }
   // The pipeline path's metrics come with the RunPipeline result;
   // re-evaluating the same collection here would repeat the
-  // distinct-pair scan.
-  if (pipelined == nullptr) {
+  // distinct-pair scan. The budgeted pipeline path bypasses that
+  // harness, so it evaluates here like the technique path.
+  if (pipelined == nullptr || use_budget) {
     metrics = sablock::eval::Evaluate(dataset, blocks);
   }
   if (pipelined != nullptr) {
@@ -483,6 +542,14 @@ int main(int argc, char** argv) {
   if (repeat > 1) {
     std::printf("build time over %d runs: min=%.3fs mean=%.3fs\n", repeat,
                 min_seconds, total_seconds / repeat);
+  }
+  if (use_budget && meter != nullptr) {
+    const std::string reason = meter->ExhaustedReason();
+    std::printf("budget: %s — comparisons spent: %llu (%s)\n",
+                budget.ToString().c_str(),
+                static_cast<unsigned long long>(meter->Spent()),
+                reason.empty() ? "not exhausted"
+                               : ("exhausted: " + reason).c_str());
   }
   if (metrics.ground_truth_pairs > 0) {
     std::printf("quality: %s\n", sablock::eval::Summary(metrics).c_str());

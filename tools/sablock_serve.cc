@@ -28,6 +28,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/string_util.h"
@@ -90,6 +91,8 @@ void PrintUsage() {
       "                     [--insert \"v1|v2|...\"]  (values in schema "
       "order)\n"
       "                     [--query \"v1|v2|...\"]\n"
+      "                     [--query-progressive \"v1|v2|...\"\n"
+      "                      [--budget \"pairs=N,seconds=S\"]]\n"
       "                     [--remove=ID]\n"
       "                     [--stats]\n"
       "\n"
@@ -102,7 +105,11 @@ void PrintUsage() {
       "in-flight requests, dumps its final metrics snapshot to stderr\n"
       "(Prometheus text format) and exits 0, removing the socket file.\n"
       "--stats prints the request counters plus the server's live metrics\n"
-      "snapshot (the wire STATS/metrics verb) in the same format.\n");
+      "snapshot (the wire STATS/metrics verb) in the same format.\n"
+      "--query-progressive ranks candidates best-first (token-Jaccard\n"
+      "score against the probe) and honors a --budget in the unified\n"
+      "core::Budget grammar: pairs=N caps the comparisons returned,\n"
+      "seconds=S deadlines the scoring loop. Empty budget = unlimited.\n");
 }
 
 void PrintIndexes() {
@@ -179,6 +186,22 @@ int RunClient(const Flags& flags) {
     std::printf("%zu candidate(s):", candidates.size());
     for (sablock::data::RecordId id : candidates) std::printf(" %u", id);
     std::printf("\n");
+  }
+  if (flags.Has("query-progressive")) {
+    did_something = true;
+    std::vector<std::string> values =
+        SplitValues(flags.Get("query-progressive"));
+    std::vector<std::string_view> views = AsViews(values);
+    std::vector<std::pair<sablock::data::RecordId, double>> candidates;
+    s = client.QueryProgressive(views, flags.Get("budget"), &candidates);
+    if (!s.ok()) {
+      std::fprintf(stderr, "error: %s\n", s.message().c_str());
+      return 1;
+    }
+    std::printf("%zu scored candidate(s), best first:\n", candidates.size());
+    for (const auto& [id, score] : candidates) {
+      std::printf("  %u  %.4f\n", id, score);
+    }
   }
   if (flags.Has("remove")) {
     did_something = true;
